@@ -1,0 +1,135 @@
+//! dBoost: statistical outlier detection over numeric and formatted columns.
+//!
+//! The original dBoost fits simple statistical models (Gaussians, histograms,
+//! partitioned models) per column and flags low-likelihood cells. This
+//! implementation keeps the two models that matter for the benchmark error
+//! types it targets (outliers and pattern/rule side effects): a Gaussian
+//! z-score test on numeric columns and a rare-format test on textual columns.
+//! Missing values and typos are out of scope by design (paper Table I).
+
+use crate::{Baseline, BaselineInput};
+use zeroed_features::pattern::{generalize, Level};
+use zeroed_table::value::parse_numeric;
+use zeroed_table::ErrorMask;
+use std::collections::HashMap;
+
+/// Configuration of the dBoost baseline.
+#[derive(Debug, Clone)]
+pub struct DBoost {
+    /// Z-score above which a numeric value is an outlier (dBoost's common
+    /// configuration uses 3 standard deviations).
+    pub z_threshold: f64,
+    /// Formats rarer than this fraction of a column are flagged.
+    pub pattern_threshold: f64,
+}
+
+impl Default for DBoost {
+    fn default() -> Self {
+        Self {
+            z_threshold: 3.0,
+            pattern_threshold: 0.02,
+        }
+    }
+}
+
+impl Baseline for DBoost {
+    fn name(&self) -> &'static str {
+        "dBoost"
+    }
+
+    fn detect(&self, input: &BaselineInput<'_>) -> ErrorMask {
+        let table = input.dirty;
+        let mut mask = ErrorMask::for_table(table);
+        let n_rows = table.n_rows();
+        if n_rows == 0 {
+            return mask;
+        }
+        for col in 0..table.n_cols() {
+            let values: Vec<&str> = table.column_refs(col);
+            // Gaussian model on numeric columns.
+            let numerics: Vec<f64> = values.iter().filter_map(|v| parse_numeric(v)).collect();
+            let is_numeric_col = numerics.len() as f64 >= 0.9 * n_rows as f64;
+            let gaussian = if is_numeric_col && numerics.len() > 1 {
+                let mean = numerics.iter().sum::<f64>() / numerics.len() as f64;
+                let var = numerics.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                    / numerics.len() as f64;
+                Some((mean, var.sqrt().max(1e-9)))
+            } else {
+                None
+            };
+            // Histogram of L2 formats.
+            let mut pattern_counts: HashMap<String, usize> = HashMap::new();
+            for v in &values {
+                *pattern_counts
+                    .entry(generalize(v, Level::L2))
+                    .or_insert(0) += 1;
+            }
+            for (row, v) in values.iter().enumerate() {
+                let mut flagged = false;
+                if let (Some((mean, std)), Some(x)) = (gaussian, parse_numeric(v)) {
+                    if ((x - mean) / std).abs() > self.z_threshold {
+                        flagged = true;
+                    }
+                }
+                if !flagged {
+                    let count = pattern_counts[&generalize(v, Level::L2)];
+                    if (count as f64 / n_rows as f64) < self.pattern_threshold {
+                        flagged = true;
+                    }
+                }
+                if flagged {
+                    mask.set(row, col, true);
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeroed_datagen::DatasetMetadata;
+    use zeroed_table::Table;
+
+    fn input_fixture() -> (Table, DatasetMetadata) {
+        let mut rows: Vec<Vec<String>> = (0..100)
+            .map(|i| vec![format!("{}", 50_000 + (i % 10) * 100), "7:45 am".to_string()])
+            .collect();
+        rows[3][0] = "5000000".into(); // numeric outlier
+        rows[8][1] = "0745".into(); // rare format
+        (
+            Table::new("t", vec!["salary".into(), "time".into()], rows).unwrap(),
+            DatasetMetadata::default(),
+        )
+    }
+
+    #[test]
+    fn flags_numeric_outliers_and_rare_formats() {
+        let (table, metadata) = input_fixture();
+        let input = BaselineInput {
+            dirty: &table,
+            metadata: &metadata,
+            labeled: &[],
+        };
+        let mask = DBoost::default().detect(&input);
+        assert!(mask.get(3, 0), "numeric outlier should be flagged");
+        assert!(mask.get(8, 1), "rare format should be flagged");
+        assert!(!mask.get(0, 0));
+        assert!(!mask.get(0, 1));
+        assert!(mask.error_count() < 10);
+    }
+
+    #[test]
+    fn empty_table_yields_empty_mask() {
+        let table = Table::empty("e", vec!["a".into()]);
+        let metadata = DatasetMetadata::default();
+        let input = BaselineInput {
+            dirty: &table,
+            metadata: &metadata,
+            labeled: &[],
+        };
+        assert_eq!(DBoost::default().detect(&input).error_count(), 0);
+        assert_eq!(DBoost::default().name(), "dBoost");
+    }
+}

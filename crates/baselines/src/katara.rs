@@ -1,0 +1,127 @@
+//! KATARA: knowledge-base powered detection.
+//!
+//! KATARA aligns table columns with knowledge-base relations and flags values
+//! that cannot be matched. This implementation consumes the knowledge-base
+//! entries exported with each dataset: a cell is flagged when its column has a
+//! KB domain and the (non-missing) value does not belong to it, or when a
+//! conditioned relation (e.g. country → capital) is contradicted. Columns
+//! without KB coverage are never flagged, which mirrors the paper's
+//! observation that KATARA detects nothing on datasets lacking a relevant
+//! knowledge base.
+
+use crate::{Baseline, BaselineInput};
+use zeroed_table::value::is_missing;
+use zeroed_table::ErrorMask;
+
+/// The KATARA baseline (no configuration).
+#[derive(Debug, Clone, Default)]
+pub struct Katara;
+
+impl Baseline for Katara {
+    fn name(&self) -> &'static str {
+        "KATARA"
+    }
+
+    fn detect(&self, input: &BaselineInput<'_>) -> ErrorMask {
+        let table = input.dirty;
+        let mut mask = ErrorMask::for_table(table);
+        for entry in &input.metadata.kb {
+            let Some(col) = table.column_index(&entry.column) else {
+                continue;
+            };
+            let context_col = entry
+                .conditioned_on
+                .as_ref()
+                .and_then(|(name, _)| table.column_index(name));
+            for (row_idx, row) in table.rows().iter().enumerate() {
+                let value = row[col].trim().to_lowercase();
+                if is_missing(&value) {
+                    continue;
+                }
+                let mut violated = !entry.valid_values.is_empty()
+                    && !entry.valid_values.contains(&value);
+                if !violated {
+                    if let (Some((_, mapping)), Some(ctx_col)) =
+                        (entry.conditioned_on.as_ref(), context_col)
+                    {
+                        let ctx_value = row[ctx_col].trim().to_lowercase();
+                        if let Some(expected) = mapping.get(&ctx_value) {
+                            violated = *expected != value;
+                        }
+                    }
+                }
+                if violated {
+                    mask.set(row_idx, col, true);
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use zeroed_datagen::{DatasetMetadata, KnowledgeBaseEntry};
+    use zeroed_table::Table;
+
+    fn fixture() -> (Table, DatasetMetadata) {
+        let rows = vec![
+            vec!["France".to_string(), "Paris".to_string()],
+            vec!["France".to_string(), "Lyon".to_string()], // wrong capital
+            vec!["Wakanda".to_string(), "Paris".to_string()], // unknown country
+            vec!["".to_string(), "Paris".to_string()],      // missing → ignored
+        ];
+        let table = Table::new("t", vec!["country".into(), "capital".into()], rows).unwrap();
+        let mut capital_map = HashMap::new();
+        capital_map.insert("france".to_string(), "paris".to_string());
+        let metadata = DatasetMetadata {
+            kb: vec![
+                KnowledgeBaseEntry::domain(
+                    "country",
+                    ["France".to_string(), "Germany".to_string()],
+                ),
+                KnowledgeBaseEntry {
+                    column: "capital".into(),
+                    valid_values: ["paris", "berlin", "lyon"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                    conditioned_on: Some(("country".into(), capital_map)),
+                },
+            ],
+            ..DatasetMetadata::default()
+        };
+        (table, metadata)
+    }
+
+    #[test]
+    fn flags_out_of_kb_and_inconsistent_values() {
+        let (table, metadata) = fixture();
+        let input = BaselineInput {
+            dirty: &table,
+            metadata: &metadata,
+            labeled: &[],
+        };
+        let mask = Katara.detect(&input);
+        assert!(mask.get(2, 0), "unknown country flagged");
+        assert!(mask.get(1, 1), "inconsistent capital flagged");
+        assert!(!mask.get(0, 0));
+        assert!(!mask.get(0, 1));
+        assert!(!mask.get(3, 0), "missing values are not KATARA's job");
+    }
+
+    #[test]
+    fn no_kb_means_no_detection() {
+        let (table, _) = fixture();
+        let metadata = DatasetMetadata::default();
+        let input = BaselineInput {
+            dirty: &table,
+            metadata: &metadata,
+            labeled: &[],
+        };
+        assert_eq!(Katara.detect(&input).error_count(), 0);
+        assert_eq!(Katara.name(), "KATARA");
+    }
+}

@@ -1,0 +1,296 @@
+//! Raha: the configuration-free, manual-label error detection system.
+//!
+//! Raha runs a large library of cheap detection strategies (outlier detectors,
+//! pattern checks, rule checks, knowledge-base checks under many
+//! configurations), uses their outputs as a feature vector per cell, clusters
+//! the cells of each column, asks the user to label a handful of tuples,
+//! propagates those labels through the clusters and trains a per-column
+//! classifier. This implementation follows that architecture with a strategy
+//! library drawn from the same families; the labelled tuples come from
+//! [`crate::LabeledTuple`] (2 tuples by default in the paper's comparison,
+//! swept in Fig. 6).
+
+use crate::{Baseline, BaselineInput};
+use std::collections::HashMap;
+use zeroed_cluster::{cluster, SamplingMethod};
+use zeroed_features::pattern::{generalize, Level};
+use zeroed_ml::{LogisticRegression, LogisticRegressionConfig};
+use zeroed_table::value::{is_missing, parse_numeric};
+use zeroed_table::{ErrorMask, Table};
+
+/// Configuration of the Raha baseline.
+#[derive(Debug, Clone)]
+pub struct Raha {
+    /// Number of cell clusters per column (Raha's label-propagation
+    /// granularity). The effective number also grows with the labelling
+    /// budget.
+    pub clusters_per_column: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for Raha {
+    fn default() -> Self {
+        Self {
+            clusters_per_column: 20,
+            seed: 13,
+        }
+    }
+}
+
+impl Raha {
+    /// Strategy-output feature vector for one cell: each entry is the verdict
+    /// of one cheap detection strategy (1.0 = that strategy flags the cell).
+    fn strategy_features(
+        table: &Table,
+        col: usize,
+        row: usize,
+        value_counts: &HashMap<&str, usize>,
+        pattern_counts: &HashMap<String, usize>,
+        numeric_stats: Option<(f64, f64)>,
+        fd_majorities: &[(usize, HashMap<&str, &str>)],
+    ) -> Vec<f32> {
+        let n_rows = table.n_rows() as f64;
+        let v = table.cell(row, col);
+        let mut feats = Vec::with_capacity(8 + fd_majorities.len());
+        // Missing-value strategies.
+        feats.push(if is_missing(v) { 1.0 } else { 0.0 });
+        feats.push(if v.trim().is_empty() { 1.0 } else { 0.0 });
+        // Frequency strategies at two thresholds.
+        let freq = *value_counts.get(v).unwrap_or(&0) as f64 / n_rows;
+        feats.push(if freq < 0.01 { 1.0 } else { 0.0 });
+        feats.push(if freq < 0.05 { 1.0 } else { 0.0 });
+        // Pattern strategies at two thresholds.
+        let pat_freq = *pattern_counts
+            .get(&generalize(v, Level::L2))
+            .unwrap_or(&0) as f64
+            / n_rows;
+        feats.push(if pat_freq < 0.01 { 1.0 } else { 0.0 });
+        feats.push(if pat_freq < 0.05 { 1.0 } else { 0.0 });
+        // Outlier strategies (Gaussian at 2 and 3 sigma).
+        match (numeric_stats, parse_numeric(v)) {
+            (Some((mean, std)), Some(x)) => {
+                let z = ((x - mean) / std).abs();
+                feats.push(if z > 3.0 { 1.0 } else { 0.0 });
+                feats.push(if z > 2.0 { 1.0 } else { 0.0 });
+            }
+            _ => {
+                feats.push(0.0);
+                feats.push(0.0);
+            }
+        }
+        // Rule strategies: disagreement with the majority value per determinant
+        // for each other column.
+        for (det, majority) in fd_majorities {
+            let d = table.cell(row, *det);
+            let flagged = majority
+                .get(d)
+                .map(|&expected| expected != v)
+                .unwrap_or(false);
+            feats.push(if flagged { 1.0 } else { 0.0 });
+        }
+        feats
+    }
+}
+
+impl Baseline for Raha {
+    fn name(&self) -> &'static str {
+        "Raha"
+    }
+
+    fn detect(&self, input: &BaselineInput<'_>) -> ErrorMask {
+        let table = input.dirty;
+        let n_rows = table.n_rows();
+        let n_cols = table.n_cols();
+        let mut mask = ErrorMask::for_table(table);
+        if n_rows == 0 || input.labeled.is_empty() {
+            return mask;
+        }
+        let labeled: HashMap<usize, &Vec<bool>> =
+            input.labeled.iter().map(|l| (l.row, &l.flags)).collect();
+        let k = (self.clusters_per_column + input.labeled.len()).min(n_rows);
+
+        for col in 0..n_cols {
+            // Pre-compute per-column statistics shared by the strategies.
+            let mut value_counts: HashMap<&str, usize> = HashMap::new();
+            let mut pattern_counts: HashMap<String, usize> = HashMap::new();
+            let mut numerics: Vec<f64> = Vec::new();
+            for row in table.rows() {
+                let v = row[col].as_str();
+                *value_counts.entry(v).or_insert(0) += 1;
+                *pattern_counts.entry(generalize(v, Level::L2)).or_insert(0) += 1;
+                if let Some(x) = parse_numeric(v) {
+                    numerics.push(x);
+                }
+            }
+            let numeric_stats = if numerics.len() as f64 >= 0.9 * n_rows as f64 {
+                let mean = numerics.iter().sum::<f64>() / numerics.len() as f64;
+                let std = (numerics.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                    / numerics.len() as f64)
+                    .sqrt()
+                    .max(1e-9);
+                Some((mean, std))
+            } else {
+                None
+            };
+            // Majority mapping from every other column (cheap rule strategies).
+            let mut fd_majorities: Vec<(usize, HashMap<&str, &str>)> = Vec::new();
+            for det in 0..n_cols {
+                if det == col {
+                    continue;
+                }
+                let mut groups: HashMap<&str, HashMap<&str, usize>> = HashMap::new();
+                for row in table.rows() {
+                    *groups
+                        .entry(row[det].as_str())
+                        .or_default()
+                        .entry(row[col].as_str())
+                        .or_insert(0) += 1;
+                }
+                let majority: HashMap<&str, &str> = groups
+                    .into_iter()
+                    .map(|(d, dist)| {
+                        let best = dist
+                            .into_iter()
+                            .max_by_key(|(_, c)| *c)
+                            .map(|(v, _)| v)
+                            .unwrap_or_default();
+                        (d, best)
+                    })
+                    .collect();
+                fd_majorities.push((det, majority));
+            }
+
+            // Strategy feature vectors for every cell of the column.
+            let feats: Vec<Vec<f32>> = (0..n_rows)
+                .map(|row| {
+                    Self::strategy_features(
+                        table,
+                        col,
+                        row,
+                        &value_counts,
+                        &pattern_counts,
+                        numeric_stats,
+                        &fd_majorities,
+                    )
+                })
+                .collect();
+            let rows: Vec<&[f32]> = feats.iter().map(|f| f.as_slice()).collect();
+            let clustering = cluster(SamplingMethod::KMeans, &rows, k, self.seed + col as u64);
+
+            // Propagate the labels of the labelled tuples through their clusters.
+            let mut cluster_votes: HashMap<usize, (usize, usize)> = HashMap::new();
+            for (&row, flags) in &labeled {
+                if row >= n_rows {
+                    continue;
+                }
+                let c = clustering.assignments[row];
+                let entry = cluster_votes.entry(c).or_insert((0, 0));
+                if flags[col] {
+                    entry.0 += 1;
+                } else {
+                    entry.1 += 1;
+                }
+            }
+            let mut train_rows: Vec<&[f32]> = Vec::new();
+            let mut train_labels: Vec<f32> = Vec::new();
+            for (row, feat) in feats.iter().enumerate() {
+                let c = clustering.assignments[row];
+                if let Some(&(err, clean)) = cluster_votes.get(&c) {
+                    let label = if err > clean { 1.0 } else { 0.0 };
+                    train_rows.push(feat.as_slice());
+                    train_labels.push(label);
+                }
+            }
+            let has_both = train_labels.iter().any(|&l| l > 0.5)
+                && train_labels.iter().any(|&l| l < 0.5);
+            if !has_both {
+                // Without both classes, fall back to propagated labels only.
+                for (row, _) in feats.iter().enumerate() {
+                    let c = clustering.assignments[row];
+                    if let Some(&(err, clean)) = cluster_votes.get(&c) {
+                        if err > clean {
+                            mask.set(row, col, true);
+                        }
+                    }
+                }
+                continue;
+            }
+            let model = LogisticRegression::fit(
+                &train_rows,
+                &train_labels,
+                &LogisticRegressionConfig::default(),
+            );
+            for (row, feat) in feats.iter().enumerate() {
+                if model.predict(feat) {
+                    mask.set(row, col, true);
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LabeledTuple;
+    use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
+
+    fn dataset() -> zeroed_datagen::GeneratedDataset {
+        generate(
+            DatasetSpec::Beers,
+            &GenerateOptions {
+                n_rows: 200,
+                seed: 21,
+                error_spec: None,
+            },
+        )
+    }
+
+    #[test]
+    fn more_labels_do_not_hurt_and_usually_help() {
+        let ds = dataset();
+        // Label tuples that actually contain errors plus a few clean ones so
+        // both classes are represented.
+        let mut error_rows: Vec<usize> = ds
+            .injected
+            .iter()
+            .map(|e| e.row)
+            .collect::<std::collections::HashSet<_>>()
+            .into_iter()
+            .collect();
+        error_rows.sort_unstable();
+        let few_rows: Vec<usize> = error_rows.iter().copied().take(2).chain(0..2).collect();
+        let many_rows: Vec<usize> = error_rows.iter().copied().take(15).chain(0..15).collect();
+        let few = LabeledTuple::from_mask(&ds.mask, &few_rows);
+        let many = LabeledTuple::from_mask(&ds.mask, &many_rows);
+        let input_few = BaselineInput {
+            dirty: &ds.dirty,
+            metadata: &ds.metadata,
+            labeled: &few,
+        };
+        let input_many = BaselineInput {
+            dirty: &ds.dirty,
+            metadata: &ds.metadata,
+            labeled: &many,
+        };
+        let raha = Raha::default();
+        let f1_few = raha.detect(&input_few).score_against(&ds.mask).unwrap().f1;
+        let f1_many = raha.detect(&input_many).score_against(&ds.mask).unwrap().f1;
+        assert!(f1_many >= f1_few * 0.8, "few {f1_few} vs many {f1_many}");
+        assert!(f1_many > 0.1, "Raha with many labels should detect something");
+    }
+
+    #[test]
+    fn no_labels_mean_no_detection() {
+        let ds = dataset();
+        let input = BaselineInput {
+            dirty: &ds.dirty,
+            metadata: &ds.metadata,
+            labeled: &[],
+        };
+        assert_eq!(Raha::default().detect(&input).error_count(), 0);
+        assert_eq!(Raha::default().name(), "Raha");
+    }
+}

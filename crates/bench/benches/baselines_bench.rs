@@ -1,0 +1,38 @@
+//! Detection cost of the non-LLM baselines (dBoost, NADEEF, Raha).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zeroed_baselines::{Baseline, BaselineInput, DBoost, LabeledTuple, Nadeef, Raha};
+use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
+
+fn bench_baselines(c: &mut Criterion) {
+    let ds = generate(
+        DatasetSpec::Beers,
+        &GenerateOptions {
+            n_rows: 500,
+            seed: 9,
+            error_spec: None,
+        },
+    );
+    let labeled = LabeledTuple::from_mask(&ds.mask, &[0, 100, 200, 300]);
+    let input = BaselineInput {
+        dirty: &ds.dirty,
+        metadata: &ds.metadata,
+        labeled: &labeled,
+    };
+
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("dboost_beers_500", |b| {
+        b.iter(|| black_box(DBoost::default().detect(&input)))
+    });
+    group.bench_function("nadeef_beers_500", |b| {
+        b.iter(|| black_box(Nadeef::default().detect(&input)))
+    });
+    group.bench_function("raha_beers_500", |b| {
+        b.iter(|| black_box(Raha::default().detect(&input)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Clustering cost in rows and dimensions (sampling step, paper §III-C).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use zeroed_cluster::{cluster, SamplingMethod};
+
+fn synthetic(n: usize, dim: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|d| ((i * 31 + d * 17) % 97) as f32 / 97.0 + ((i % 7) * 3) as f32)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster");
+    for &n in &[500usize, 2_000] {
+        let data = synthetic(n, 32);
+        let rows: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        for method in [
+            SamplingMethod::KMeans,
+            SamplingMethod::Agglomerative,
+            SamplingMethod::Random,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), n),
+                &rows,
+                |b, rows| b.iter(|| black_box(cluster(method, rows, 25, 7))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Detector (MLP) training and inference throughput (paper §III-D).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zeroed_ml::{Mlp, MlpConfig};
+
+fn synthetic(n: usize, dim: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|i| (0..dim).map(|d| ((i * 13 + d * 7) % 101) as f32 / 101.0).collect())
+        .collect();
+    let labels: Vec<f32> = rows
+        .iter()
+        .map(|r| if r[0] + r[1] > 1.0 { 1.0 } else { 0.0 })
+        .collect();
+    (rows, labels)
+}
+
+fn bench_mlp(c: &mut Criterion) {
+    let (rows, labels) = synthetic(1_000, 64);
+    let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+    let config = MlpConfig {
+        hidden: 64,
+        epochs: 10,
+        ..MlpConfig::default()
+    };
+
+    c.bench_function("mlp/train_1000x64_10epochs", |b| {
+        b.iter(|| black_box(Mlp::fit(&refs, &labels, &config)))
+    });
+
+    let model = Mlp::fit(&refs, &labels, &config);
+    c.bench_function("mlp/predict_1000x64", |b| {
+        b.iter(|| {
+            for row in &refs {
+                black_box(model.predict_proba(row));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_mlp);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! End-to-end pipeline cost: ZeroED vs FM_ED on a small benchmark dataset
+//! (the micro view of the paper's Fig. 7).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zeroed_baselines::{Baseline, BaselineInput, FmEd};
+use zeroed_bench::simulated_llm;
+use zeroed_core::{ZeroEd, ZeroEdConfig};
+use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
+use zeroed_llm::LlmProfile;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let ds = generate(
+        DatasetSpec::Flights,
+        &GenerateOptions {
+            n_rows: 300,
+            seed: 5,
+            error_spec: None,
+        },
+    );
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    group.bench_function("zeroed_flights_300", |b| {
+        b.iter(|| {
+            let llm = simulated_llm(&ds, LlmProfile::qwen_72b(), 1);
+            let detector = ZeroEd::new(ZeroEdConfig::fast());
+            black_box(detector.detect(&ds.dirty, &llm))
+        })
+    });
+
+    group.bench_function("fm_ed_flights_300", |b| {
+        b.iter(|| {
+            let llm = simulated_llm(&ds, LlmProfile::qwen_72b(), 1);
+            let fm = FmEd::new(&llm);
+            let input = BaselineInput {
+                dirty: &ds.dirty,
+                metadata: &ds.metadata,
+                labeled: &[],
+            };
+            black_box(fm.detect(&input))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fig. 11 — performance per error type: every method on Beers variants that
+//! contain a single error type (T, MV, PV, RV, O) or a mix (ME).
+
+use zeroed_bench::{format_table, parse_args, run_method, Method, Row};
+use zeroed_core::ZeroEdConfig;
+use zeroed_datagen::{generate, DatasetSpec, ErrorSpec, GenerateOptions};
+use zeroed_llm::LlmProfile;
+use zeroed_table::ErrorType;
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    println!("== Fig. 11: F1 per error type on Beers ==");
+    println!("(rows: {}; single run per point)\n", args.rows);
+    let scenarios: Vec<(&str, ErrorSpec)> = vec![
+        ("T", ErrorSpec::only(ErrorType::Typo, 0.024)),
+        ("MV", ErrorSpec::only(ErrorType::MissingValue, 0.009)),
+        ("PV", ErrorSpec::only(ErrorType::PatternViolation, 0.055)),
+        ("RV", ErrorSpec::only(ErrorType::RuleViolation, 0.011)),
+        ("O", ErrorSpec::only(ErrorType::Outlier, 0.011)),
+        ("ME", ErrorSpec::new(0.005, 0.005, 0.005, 0.005, 0.005)),
+    ];
+    let methods = Method::paper_lineup(ZeroEdConfig::default());
+    let header: Vec<String> = scenarios.iter().map(|(n, _)| n.to_string()).collect();
+
+    let datasets: Vec<_> = scenarios
+        .iter()
+        .map(|(_, spec)| {
+            generate(
+                DatasetSpec::Beers,
+                &GenerateOptions {
+                    n_rows: args.rows,
+                    seed: args.base_seed,
+                    error_spec: Some(spec.clone()),
+                },
+            )
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for method in &methods {
+        let mut cells = Vec::new();
+        for ds in &datasets {
+            let result = run_method(method, ds, LlmProfile::qwen_72b(), args.base_seed);
+            cells.push(format!("{:.3}", result.report.f1));
+        }
+        rows.push(Row::new(method.name(), cells));
+        eprintln!("finished {}", method.name());
+    }
+    println!("{}", format_table("Method", &header, &rows));
+}

@@ -1,0 +1,58 @@
+//! Table II — dataset statistics: tuples, attributes, overall error rate and
+//! per-type error rates of every generated benchmark dataset.
+
+use zeroed_bench::{format_table, parse_args, Row};
+use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
+use zeroed_table::ErrorType;
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    println!("== Table II: evaluation dataset statistics ==");
+    println!("(rows per dataset: {}; 0 = paper size)\n", args.rows);
+
+    let header: Vec<String> = vec![
+        "#Tuples".into(),
+        "#A.".into(),
+        "Err.(%)".into(),
+        "MV(%)".into(),
+        "PV(%)".into(),
+        "T(%)".into(),
+        "O(%)".into(),
+        "RV(%)".into(),
+    ];
+    let mut rows = Vec::new();
+    for spec in DatasetSpec::ALL {
+        // Cap Tax so the statistics table itself stays fast; scalability runs
+        // use exp_fig7/exp_fig8.
+        let n_rows = if spec == DatasetSpec::Tax && args.rows == 0 {
+            5_000
+        } else {
+            args.rows
+        };
+        let ds = generate(
+            spec,
+            &GenerateOptions {
+                n_rows,
+                seed: args.base_seed,
+                error_spec: None,
+            },
+        );
+        let profile = ds.error_profile();
+        let cells = ds.dirty.n_cells();
+        let pct = |ty: ErrorType| format!("{:.2}", profile.rate(ty, cells) * 100.0);
+        rows.push(Row::new(
+            spec.name(),
+            vec![
+                ds.dirty.n_rows().to_string(),
+                ds.dirty.n_cols().to_string(),
+                format!("{:.2}", profile.error_rate * 100.0),
+                pct(ErrorType::MissingValue),
+                pct(ErrorType::PatternViolation),
+                pct(ErrorType::Typo),
+                pct(ErrorType::Outlier),
+                pct(ErrorType::RuleViolation),
+            ],
+        ));
+    }
+    println!("{}", format_table("Name", &header, &rows));
+}

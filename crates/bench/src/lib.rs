@@ -1,0 +1,24 @@
+//! # zeroed-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! ZeroED paper's evaluation section (see DESIGN.md §3 for the full index),
+//! plus criterion micro-benchmarks for the individual pipeline stages.
+//!
+//! Each experiment is a binary under `src/bin/`; run, for example:
+//!
+//! ```text
+//! cargo run --release -p zeroed-bench --bin exp_table3
+//! cargo run --release -p zeroed-bench --bin exp_table3 -- --rows 400 --seeds 1
+//! ```
+//!
+//! By default the harness generates each benchmark dataset at a reduced size
+//! (`--rows 600`) so a full sweep finishes in minutes on a laptop; pass
+//! `--rows 0` to use the paper's original sizes.
+
+pub mod harness;
+pub mod methods;
+pub mod tablefmt;
+
+pub use harness::{parse_args, prepared_dataset, HarnessArgs, PreparedDataset};
+pub use methods::{run_method, run_method_averaged, simulated_llm, Method, MethodResult};
+pub use tablefmt::{format_table, Row};

@@ -1,0 +1,90 @@
+//! Plain-text table formatting for experiment output.
+
+/// One row of an output table: a label plus formatted cell strings.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (method name, dataset name, parameter value...).
+    pub label: String,
+    /// Formatted cells.
+    pub cells: Vec<String>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, cells: Vec<String>) -> Self {
+        Self {
+            label: label.into(),
+            cells,
+        }
+    }
+}
+
+/// Formats a header and rows into an aligned plain-text table.
+pub fn format_table(corner: &str, header: &[String], rows: &[Row]) -> String {
+    let mut widths: Vec<usize> = Vec::new();
+    widths.push(
+        rows.iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once(corner.len()))
+            .max()
+            .unwrap_or(0),
+    );
+    for (i, h) in header.iter().enumerate() {
+        let cell_width = rows
+            .iter()
+            .map(|r| r.cells.get(i).map(|c| c.len()).unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        widths.push(h.len().max(cell_width));
+    }
+    let mut out = String::new();
+    let mut line = format!("{:width$}", corner, width = widths[0]);
+    for (i, h) in header.iter().enumerate() {
+        line.push_str(&format!("  {:>width$}", h, width = widths[i + 1]));
+    }
+    out.push_str(&line);
+    out.push('\n');
+    out.push_str(&"-".repeat(line.len()));
+    out.push('\n');
+    for row in rows {
+        let mut line = format!("{:width$}", row.label, width = widths[0]);
+        for (i, _) in header.iter().enumerate() {
+            let cell = row.cells.get(i).map(|s| s.as_str()).unwrap_or("");
+            line.push_str(&format!("  {:>width$}", cell, width = widths[i + 1]));
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a `(precision, recall, f1)` triple the way the paper's tables do.
+pub fn prf(precision: f64, recall: f64, f1: f64) -> String {
+    format!("{precision:.3}/{recall:.3}/{f1:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let rows = vec![
+            Row::new("dBoost", vec!["0.887".into(), "0.355".into()]),
+            Row::new("ZeroED", vec!["0.936".into(), "0.715".into()]),
+        ];
+        let text = format_table("Method", &["Prec".into(), "Rec".into()], &rows);
+        assert!(text.contains("Method"));
+        assert!(text.contains("dBoost"));
+        assert!(text.lines().count() >= 4);
+        let header_len = text.lines().next().unwrap().len();
+        for line in text.lines().skip(2) {
+            assert!(line.len() <= header_len + 2);
+        }
+    }
+
+    #[test]
+    fn prf_formatting() {
+        assert_eq!(prf(0.9361, 0.715, 0.811), "0.936/0.715/0.811");
+    }
+}

@@ -1,0 +1,201 @@
+//! Lloyd's k-means with k-means++ style seeding.
+
+use crate::{assign_to_nearest, sq_dist, Clustering};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// k-means hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop when the total centroid movement falls below this threshold.
+    pub tolerance: f32,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 40,
+            tolerance: 1e-4,
+        }
+    }
+}
+
+/// Runs k-means over the rows of `data` (each row one point).
+///
+/// `k` is clamped to the number of points. Empty clusters are re-seeded with
+/// the point farthest from its assigned centroid, so the result always has
+/// `k` non-degenerate centroids when `k <= data.len()`.
+pub fn kmeans(data: &[&[f32]], k: usize, config: &KMeansConfig, seed: u64) -> Clustering {
+    let n = data.len();
+    if n == 0 || k == 0 {
+        return Clustering {
+            k: 0,
+            assignments: Vec::new(),
+            centroids: Vec::new(),
+        };
+    }
+    let k = k.min(n);
+    let dim = data[0].len();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    let mut centroids = plus_plus_init(data, k, &mut rng);
+    let mut assignments = vec![0usize; n];
+
+    for _ in 0..config.max_iters {
+        // Assignment step (parallel over points).
+        assignments = data
+            .par_iter()
+            .map(|row| {
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for (c, centroid) in centroids.iter().enumerate() {
+                    let d = sq_dist(row, centroid);
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                best
+            })
+            .collect();
+
+        // Update step.
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (row, &a) in data.iter().zip(assignments.iter()) {
+            counts[a] += 1;
+            for (s, &x) in sums[a].iter_mut().zip(row.iter()) {
+                *s += x as f64;
+            }
+        }
+        let mut movement = 0.0f32;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with the point farthest from its
+                // current centroid.
+                let (far_idx, _) = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, row)| (i, sq_dist(row, &centroids[assignments[i]])))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .expect("data is non-empty");
+                movement += sq_dist(&centroids[c], data[far_idx]);
+                centroids[c] = data[far_idx].to_vec();
+                continue;
+            }
+            let mut new_centroid = vec![0.0f32; dim];
+            for (nc, s) in new_centroid.iter_mut().zip(sums[c].iter()) {
+                *nc = (*s / counts[c] as f64) as f32;
+            }
+            movement += sq_dist(&centroids[c], &new_centroid);
+            centroids[c] = new_centroid;
+        }
+        if movement < config.tolerance {
+            break;
+        }
+    }
+
+    // Final assignment against the converged centroids.
+    let assignments = assign_to_nearest(data, &centroids);
+    Clustering {
+        k,
+        assignments,
+        centroids,
+    }
+}
+
+/// k-means++ seeding: the first centre is uniform, subsequent centres are
+/// sampled proportionally to the squared distance from the nearest existing
+/// centre.
+fn plus_plus_init(data: &[&[f32]], k: usize, rng: &mut ChaCha8Rng) -> Vec<Vec<f32>> {
+    let n = data.len();
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centroids.push(data[rng.gen_range(0..n)].to_vec());
+    let mut dists: Vec<f32> = data
+        .iter()
+        .map(|row| sq_dist(row, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dists.iter().map(|&d| d as f64).sum();
+        let next = if total <= f64::EPSILON {
+            // All remaining points coincide with existing centroids.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                target -= d as f64;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(data[next].to_vec());
+        let last = centroids.last().expect("just pushed");
+        for (d, row) in dists.iter_mut().zip(data.iter()) {
+            let nd = sq_dist(row, last);
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f32>> {
+        let mut data = Vec::new();
+        for i in 0..30 {
+            data.push(vec![(i % 6) as f32 * 0.01, 0.0]);
+        }
+        for i in 0..30 {
+            data.push(vec![5.0 + (i % 6) as f32 * 0.01, 5.0]);
+        }
+        data
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = two_blobs();
+        let rows: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let c = kmeans(&rows, 2, &KMeansConfig::default(), 13);
+        assert_eq!(c.k, 2);
+        assert_ne!(c.assignments[0], c.assignments[35]);
+        assert!(c.members(c.assignments[0]).len() == 30);
+    }
+
+    #[test]
+    fn k_clamped_to_points() {
+        let data = vec![vec![0.0f32], vec![1.0]];
+        let rows: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let c = kmeans(&rows, 10, &KMeansConfig::default(), 0);
+        assert_eq!(c.k, 2);
+        assert_eq!(c.centroids.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_break_seeding() {
+        let data = vec![vec![1.0f32, 1.0]; 20];
+        let rows: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let c = kmeans(&rows, 4, &KMeansConfig::default(), 5);
+        assert_eq!(c.assignments.len(), 20);
+        assert_eq!(c.centroids.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let data = two_blobs();
+        let rows: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let a = kmeans(&rows, 3, &KMeansConfig::default(), 21);
+        let b = kmeans(&rows, 3, &KMeansConfig::default(), 21);
+        assert_eq!(a.assignments, b.assignments);
+    }
+}

@@ -1,0 +1,201 @@
+//! ZeroED pipeline configuration, including the ablation switches evaluated in
+//! the paper's Table IV.
+
+use serde::{Deserialize, Serialize};
+use zeroed_cluster::SamplingMethod;
+use zeroed_ml::MlpConfig;
+
+/// Configuration of the ZeroED pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZeroEdConfig {
+    /// Fraction of cells per attribute the LLM labels (the paper's default is
+    /// 5%); also determines the number of clusters.
+    pub label_rate: f64,
+    /// Hard cap on the number of clusters (and therefore LLM-labelled cells)
+    /// per attribute. Purely an engineering guard for very large tables; the
+    /// paper's settings never reach it on the six comparison datasets.
+    pub max_clusters_per_column: usize,
+    /// Number of correlated attributes whose features are concatenated
+    /// (paper default 2). Ignored when [`ZeroEdConfig::use_corr`] is false.
+    pub top_k_corr: usize,
+    /// Clustering/sampling strategy (paper default k-means; Table VI evaluates
+    /// alternatives).
+    pub sampling: SamplingMethodConfig,
+    /// Number of sampled cells per labelling prompt (paper default 20).
+    pub batch_size: usize,
+    /// Semantic embedding dimensionality.
+    pub embed_dim: usize,
+    /// Detector (MLP) hyper-parameters.
+    pub mlp: MlpConfig,
+    /// Accuracy / pass-rate threshold of the mutual-verification step
+    /// (Algorithm 1 uses 0.5).
+    pub verification_threshold: f64,
+    /// Upper bound on LLM-augmented error examples per attribute.
+    pub max_augment_per_column: usize,
+    /// Rows used when clustering very large attributes; remaining rows are
+    /// assigned to the nearest centroid.
+    pub max_cluster_rows: usize,
+    /// Ablation switch: generate and use detection guidelines ("w/o Guid."
+    /// disables this).
+    pub use_guidelines: bool,
+    /// Ablation switch: generate error-checking criteria, their features and
+    /// their role in verification ("w/o Crit." disables this).
+    pub use_criteria: bool,
+    /// Ablation switch: concatenate correlated-attribute features ("w/o
+    /// Corr." disables this).
+    pub use_corr: bool,
+    /// Ablation switch: mutual verification and error augmentation ("w/o
+    /// Veri." disables this).
+    pub use_verification: bool,
+    /// Master seed for clustering, the detector and tie-breaking.
+    pub seed: u64,
+}
+
+/// Serialisable mirror of [`SamplingMethod`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingMethodConfig {
+    /// k-means clustering (paper default).
+    KMeans,
+    /// Ward-linkage agglomerative clustering.
+    Agglomerative,
+    /// Random centre selection.
+    Random,
+}
+
+impl From<SamplingMethodConfig> for SamplingMethod {
+    fn from(value: SamplingMethodConfig) -> Self {
+        match value {
+            SamplingMethodConfig::KMeans => SamplingMethod::KMeans,
+            SamplingMethodConfig::Agglomerative => SamplingMethod::Agglomerative,
+            SamplingMethodConfig::Random => SamplingMethod::Random,
+        }
+    }
+}
+
+impl Default for ZeroEdConfig {
+    fn default() -> Self {
+        Self {
+            label_rate: 0.05,
+            max_clusters_per_column: 400,
+            top_k_corr: 2,
+            sampling: SamplingMethodConfig::KMeans,
+            batch_size: 20,
+            embed_dim: 24,
+            mlp: MlpConfig::default(),
+            verification_threshold: 0.5,
+            max_augment_per_column: 200,
+            max_cluster_rows: 20_000,
+            use_guidelines: true,
+            use_criteria: true,
+            use_corr: true,
+            use_verification: true,
+            seed: 42,
+        }
+    }
+}
+
+impl ZeroEdConfig {
+    /// A configuration tuned for unit tests and doc examples: smaller
+    /// embeddings, fewer training epochs, smaller caps. Detection quality is
+    /// slightly lower but runtime drops by an order of magnitude.
+    pub fn fast() -> Self {
+        Self {
+            embed_dim: 12,
+            max_clusters_per_column: 60,
+            max_augment_per_column: 40,
+            mlp: MlpConfig {
+                hidden: 24,
+                epochs: 12,
+                ..MlpConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+
+    /// The "w/o Guid." ablation of Table IV.
+    pub fn without_guidelines(mut self) -> Self {
+        self.use_guidelines = false;
+        self
+    }
+
+    /// The "w/o Crit." ablation of Table IV.
+    pub fn without_criteria(mut self) -> Self {
+        self.use_criteria = false;
+        self
+    }
+
+    /// The "w/o Corr." ablation of Table IV.
+    pub fn without_correlated(mut self) -> Self {
+        self.use_corr = false;
+        self
+    }
+
+    /// The "w/o Veri." ablation of Table IV.
+    pub fn without_verification(mut self) -> Self {
+        self.use_verification = false;
+        self
+    }
+
+    /// Effective number of correlated attributes after the ablation switch.
+    pub fn effective_top_k(&self) -> usize {
+        if self.use_corr {
+            self.top_k_corr
+        } else {
+            0
+        }
+    }
+
+    /// Number of clusters (labelled cells) for an attribute with `n_rows`
+    /// values.
+    pub fn clusters_for(&self, n_rows: usize) -> usize {
+        let raw = (self.label_rate * n_rows as f64).ceil() as usize;
+        raw.clamp(2, self.max_clusters_per_column.max(2)).min(n_rows.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let c = ZeroEdConfig::default();
+        assert!((c.label_rate - 0.05).abs() < 1e-12);
+        assert_eq!(c.top_k_corr, 2);
+        assert_eq!(c.batch_size, 20);
+        assert!((c.verification_threshold - 0.5).abs() < 1e-12);
+        assert!(c.use_guidelines && c.use_criteria && c.use_corr && c.use_verification);
+    }
+
+    #[test]
+    fn ablation_builders_flip_one_switch_each() {
+        assert!(!ZeroEdConfig::default().without_guidelines().use_guidelines);
+        assert!(!ZeroEdConfig::default().without_criteria().use_criteria);
+        assert!(!ZeroEdConfig::default().without_correlated().use_corr);
+        assert!(!ZeroEdConfig::default().without_verification().use_verification);
+        assert_eq!(ZeroEdConfig::default().without_correlated().effective_top_k(), 0);
+        assert_eq!(ZeroEdConfig::default().effective_top_k(), 2);
+    }
+
+    #[test]
+    fn cluster_count_follows_label_rate_with_caps() {
+        let c = ZeroEdConfig::default();
+        assert_eq!(c.clusters_for(1_000), 50);
+        assert_eq!(c.clusters_for(10), 2);
+        assert_eq!(c.clusters_for(1_000_000), 400);
+        let fast = ZeroEdConfig::fast();
+        assert_eq!(fast.clusters_for(10_000), 60);
+    }
+
+    #[test]
+    fn sampling_config_converts() {
+        assert_eq!(
+            SamplingMethod::from(SamplingMethodConfig::Agglomerative),
+            SamplingMethod::Agglomerative
+        );
+        assert_eq!(
+            SamplingMethod::from(SamplingMethodConfig::Random),
+            SamplingMethod::Random
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Step 5 — detector training and prediction (paper §III-D).
+//!
+//! One two-layer MLP is trained per attribute on the verified training data
+//! (propagated clean rows, propagated error rows, and LLM-augmented error
+//! examples) and then classifies every cell of the attribute. Features are
+//! standardised per attribute before training.
+
+use super::training_data::ColumnTrainingData;
+use crate::config::ZeroEdConfig;
+use zeroed_features::{FeatureMatrix, FittedFeatures};
+use zeroed_ml::{Mlp, MlpConfig, StandardScaler};
+use zeroed_table::Table;
+
+/// Trains the per-attribute detector and predicts every cell of the column.
+/// Returns one `is_error` flag per row.
+pub fn train_and_predict(
+    table: &Table,
+    column: usize,
+    fitted: &FittedFeatures<'_>,
+    unified: &FeatureMatrix,
+    data: &ColumnTrainingData,
+    config: &ZeroEdConfig,
+) -> Vec<bool> {
+    let n_rows = table.n_rows();
+    if n_rows == 0 {
+        return Vec::new();
+    }
+
+    // Assemble the training set.
+    let mut train_rows: Vec<Vec<f32>> = Vec::new();
+    let mut labels: Vec<f32> = Vec::new();
+    for &row in &data.clean_rows {
+        train_rows.push(unified.row(row).to_vec());
+        labels.push(0.0);
+    }
+    for &row in &data.error_rows {
+        train_rows.push(unified.row(row).to_vec());
+        labels.push(1.0);
+    }
+    // Augmented error examples: featurise the fabricated value in the context
+    // of its source row. When criteria features are in use, the fabricated
+    // value is re-checked against the column's criteria so the extra block
+    // stays consistent.
+    for (context_row, value) in &data.augmented {
+        let extra_override: Option<Vec<f32>> = data.criteria.as_ref().map(|set| {
+            augmented_criteria_features(table, set, *context_row, column, value)
+        });
+        let feat = fitted.unified_row(
+            *context_row,
+            column,
+            Some(value.as_str()),
+            extra_override.as_deref(),
+        );
+        // Guard against dimension drift (e.g. refined criteria adding checks):
+        // only use the example when its dimensionality matches the matrix.
+        if feat.len() == unified.n_cols() {
+            train_rows.push(feat);
+            labels.push(1.0);
+        }
+    }
+
+    let n_error = labels.iter().filter(|&&l| l > 0.5).count();
+    let n_clean = labels.len() - n_error;
+    let has_error = n_error > 0;
+    let has_clean = n_clean > 0;
+    if train_rows.is_empty() || !has_error || !has_clean {
+        // Degenerate training data: predict the majority class we saw (or
+        // "clean" when we saw nothing at all), mirroring the behaviour of a
+        // classifier trained on a single class.
+        let default_flag = has_error && !has_clean;
+        return vec![default_flag; n_rows];
+    }
+
+    // Oversample the minority error class (at most 4x) so the cross-entropy
+    // objective does not collapse to the majority class; this complements the
+    // LLM augmentation, which is capped per column.
+    if n_error * 2 < n_clean {
+        let ratio = ((n_clean / n_error.max(1)).min(4)).max(1);
+        let error_indices: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l > 0.5)
+            .map(|(i, _)| i)
+            .collect();
+        for _ in 1..ratio {
+            for &i in &error_indices {
+                train_rows.push(train_rows[i].clone());
+                labels.push(1.0);
+            }
+        }
+    }
+
+    // Standardise and train.
+    let train_refs: Vec<&[f32]> = train_rows.iter().map(|r| r.as_slice()).collect();
+    let scaler = StandardScaler::fit(&train_refs);
+    let scaled: Vec<Vec<f32>> = train_refs.iter().map(|r| scaler.transform(r)).collect();
+    let scaled_refs: Vec<&[f32]> = scaled.iter().map(|r| r.as_slice()).collect();
+    let mlp_config = MlpConfig {
+        seed: config
+            .mlp
+            .seed
+            .wrapping_add(config.seed)
+            .wrapping_add(column as u64),
+        ..config.mlp.clone()
+    };
+    let mlp = Mlp::fit(&scaled_refs, &labels, &mlp_config);
+
+    // Predict every cell of the column.
+    (0..n_rows)
+        .map(|row| mlp.predict(&scaler.transform(unified.row(row))))
+        .collect()
+}
+
+/// Evaluates the column's criteria for a fabricated value placed in the
+/// context of an existing row, producing the extra (criteria) feature block
+/// for that synthetic cell.
+fn augmented_criteria_features(
+    table: &Table,
+    criteria: &zeroed_criteria::CriteriaSet,
+    context_row: usize,
+    column: usize,
+    value: &str,
+) -> Vec<f32> {
+    // Build a single-row scratch table holding the context row with the
+    // fabricated value substituted, so row-level checks (FD lookups, keyword
+    // consistency) still see the correct surrounding values.
+    let mut row = table
+        .row(context_row)
+        .map(|r| r.to_vec())
+        .unwrap_or_else(|_| vec![String::new(); table.n_cols()]);
+    if column < row.len() {
+        row[column] = value.to_string();
+    }
+    let scratch = Table::new("scratch", table.columns().to_vec(), vec![row])
+        .expect("scratch row matches the schema");
+    criteria
+        .evaluate_cell(&scratch, 0)
+        .into_iter()
+        .map(|b| if b { 1.0 } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeroed_criteria::{Check, CriteriaSet, Criterion};
+    use zeroed_features::{FeatureBuilder, FeatureConfig};
+
+    fn table() -> Table {
+        let rows: Vec<Vec<String>> = (0..120)
+            .map(|i| {
+                let city = ["Boston", "Denver", "Phoenix"][i % 3];
+                let state = if i == 5 || i == 17 {
+                    "XX"
+                } else {
+                    ["MA", "CO", "AZ"][i % 3]
+                };
+                vec![city.to_string(), state.to_string()]
+            })
+            .collect();
+        Table::new("t", vec!["city".into(), "state".into()], rows).unwrap()
+    }
+
+    fn training_data() -> ColumnTrainingData {
+        ColumnTrainingData {
+            clean_rows: (0..120).filter(|&i| i != 5 && i != 17).collect(),
+            error_rows: vec![5, 17],
+            augmented: vec![(0, "".to_string()), (1, "Q9".to_string())],
+            criteria: Some(CriteriaSet {
+                column: 1,
+                criteria: vec![Criterion::new(
+                    "is_clean_state_domain",
+                    "known states",
+                    Check::Domain {
+                        allowed: ["ma", "co", "az"].iter().map(|s| s.to_string()).collect(),
+                    },
+                )],
+            }),
+            propagated_cells: 100,
+        }
+    }
+
+    #[test]
+    fn detector_finds_the_planted_errors() {
+        let t = table();
+        let data = training_data();
+        let extra = vec![
+            Vec::new(),
+            zeroed_criteria::criteria_features(data.criteria.as_ref().unwrap(), &t),
+        ];
+        let builder = FeatureBuilder::new(FeatureConfig {
+            embed_dim: 8,
+            top_k_corr: 1,
+            ..FeatureConfig::default()
+        });
+        let fitted = builder.fit(&t, &extra);
+        let feats = fitted.build_all();
+        let config = ZeroEdConfig::fast();
+        let preds = train_and_predict(&t, 1, &fitted, &feats.unified[1], &data, &config);
+        assert_eq!(preds.len(), 120);
+        assert!(preds[5], "row 5 should be flagged");
+        assert!(preds[17], "row 17 should be flagged");
+        let false_positives = preds
+            .iter()
+            .enumerate()
+            .filter(|(i, &p)| p && *i != 5 && *i != 17)
+            .count();
+        assert!(false_positives < 12, "too many false positives: {false_positives}");
+    }
+
+    #[test]
+    fn degenerate_training_data_predicts_single_class() {
+        let t = table();
+        let builder = FeatureBuilder::new(FeatureConfig {
+            embed_dim: 4,
+            top_k_corr: 0,
+            ..FeatureConfig::default()
+        });
+        let fitted = builder.fit(&t, &[]);
+        let feats = fitted.build_all();
+        let config = ZeroEdConfig::fast();
+        // Only clean rows → everything predicted clean.
+        let clean_only = ColumnTrainingData {
+            clean_rows: (0..50).collect(),
+            ..Default::default()
+        };
+        let preds = train_and_predict(&t, 1, &fitted, &feats.unified[1], &clean_only, &config);
+        assert!(preds.iter().all(|&p| !p));
+        // No training data at all → everything clean as well.
+        let none = ColumnTrainingData::default();
+        let preds = train_and_predict(&t, 1, &fitted, &feats.unified[1], &none, &config);
+        assert!(preds.iter().all(|&p| !p));
+    }
+
+    #[test]
+    fn augmented_criteria_features_reflect_the_substituted_value() {
+        let t = table();
+        let set = training_data().criteria.unwrap();
+        let ok = augmented_criteria_features(&t, &set, 0, 1, "MA");
+        assert_eq!(ok, vec![1.0]);
+        let bad = augmented_criteria_features(&t, &set, 0, 1, "not-a-state");
+        assert_eq!(bad, vec![0.0]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Step 3 — guideline generation and holistic LLM labelling (paper §III-C).
+
+use crate::config::ZeroEdConfig;
+use std::collections::HashMap;
+use zeroed_llm::{AttributeContext, LlmClient};
+
+/// Labels the representative cells of one attribute.
+///
+/// When guidelines are enabled the two-step process of the paper runs first:
+/// the LLM writes distribution-analysis functions (whose execution over the
+/// full data is summarised in a [`zeroed_llm::DistributionAnalysis`]) and then
+/// derives an attribute-specific detection guideline, which is included in
+/// every labelling prompt. Representatives are labelled in batches of
+/// `config.batch_size`.
+///
+/// Returns a map `row index → is_error`.
+pub fn label_representatives(
+    ctx: &AttributeContext<'_>,
+    config: &ZeroEdConfig,
+    llm: &dyn LlmClient,
+    representatives: &[usize],
+) -> HashMap<usize, bool> {
+    let mut labels = HashMap::with_capacity(representatives.len());
+    if representatives.is_empty() {
+        return labels;
+    }
+    let guideline = if config.use_guidelines {
+        let analysis = llm.analyze_distribution(ctx);
+        Some(llm.generate_guideline(ctx, &analysis))
+    } else {
+        None
+    };
+    for batch in representatives.chunks(config.batch_size.max(1)) {
+        let batch_labels = llm.label_batch(ctx, guideline.as_ref(), batch);
+        for (&row, &is_error) in batch.iter().zip(batch_labels.iter()) {
+            labels.insert(row, is_error);
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
+    use zeroed_llm::SimLlm;
+
+    fn fixture() -> (zeroed_datagen::GeneratedDataset, SimLlm) {
+        let ds = generate(
+            DatasetSpec::Hospital,
+            &GenerateOptions {
+                n_rows: 120,
+                seed: 5,
+                error_spec: None,
+            },
+        );
+        let llm = SimLlm::default_model(3).with_oracle(ds.mask.clone());
+        (ds, llm)
+    }
+
+    #[test]
+    fn labels_every_representative_exactly_once() {
+        let (ds, llm) = fixture();
+        let corr = vec![0usize];
+        let reps: Vec<usize> = (0..30).collect();
+        let ctx = AttributeContext {
+            table: &ds.dirty,
+            column: 3,
+            correlated: &corr,
+            sample_rows: &reps,
+        };
+        let config = ZeroEdConfig::fast();
+        let labels = label_representatives(&ctx, &config, &llm, &reps);
+        assert_eq!(labels.len(), 30);
+        for row in 0..30 {
+            assert!(labels.contains_key(&row));
+        }
+    }
+
+    #[test]
+    fn guideline_ablation_skips_analysis_calls() {
+        let (ds, _) = fixture();
+        let corr = vec![0usize];
+        let reps: Vec<usize> = (0..10).collect();
+        let ctx = AttributeContext {
+            table: &ds.dirty,
+            column: 2,
+            correlated: &corr,
+            sample_rows: &reps,
+        };
+        // With guidelines: analysis + guideline + 1 labelling batch = 3 requests.
+        let with_llm = SimLlm::default_model(1);
+        let _ = label_representatives(&ctx, &ZeroEdConfig::fast(), &with_llm, &reps);
+        let with_requests = with_llm.ledger().usage().requests;
+        // Without guidelines: only the labelling batch.
+        let without_llm = SimLlm::default_model(1);
+        let _ = label_representatives(
+            &ctx,
+            &ZeroEdConfig::fast().without_guidelines(),
+            &without_llm,
+            &reps,
+        );
+        let without_requests = without_llm.ledger().usage().requests;
+        assert!(with_requests > without_requests);
+        assert_eq!(without_requests, 1);
+    }
+
+    #[test]
+    fn batching_splits_requests() {
+        let (ds, _) = fixture();
+        let corr: Vec<usize> = vec![];
+        let reps: Vec<usize> = (0..45).collect();
+        let ctx = AttributeContext {
+            table: &ds.dirty,
+            column: 1,
+            correlated: &corr,
+            sample_rows: &reps,
+        };
+        let llm = SimLlm::default_model(2);
+        let config = ZeroEdConfig {
+            batch_size: 20,
+            ..ZeroEdConfig::fast().without_guidelines()
+        };
+        let labels = label_representatives(&ctx, &config, &llm, &reps);
+        assert_eq!(labels.len(), 45);
+        // ceil(45 / 20) = 3 labelling requests.
+        assert_eq!(llm.ledger().usage().requests, 3);
+    }
+
+    #[test]
+    fn empty_representatives_short_circuit() {
+        let (ds, llm) = fixture();
+        let corr: Vec<usize> = vec![];
+        let ctx = AttributeContext {
+            table: &ds.dirty,
+            column: 0,
+            correlated: &corr,
+            sample_rows: &[],
+        };
+        let labels = label_representatives(&ctx, &ZeroEdConfig::fast(), &llm, &[]);
+        assert!(labels.is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! The four-step ZeroED pipeline.
+
+pub mod detector;
+pub mod features;
+pub mod labeling;
+pub mod sampling;
+pub mod training_data;
+
+use crate::config::ZeroEdConfig;
+use crate::report::{DetectionOutcome, PipelineStats, StepTimings};
+use std::time::Instant;
+use zeroed_features::{FeatureBuilder, FeatureConfig};
+use zeroed_llm::{AttributeContext, LlmClient};
+use zeroed_table::{ErrorMask, Table};
+
+/// The ZeroED error detector.
+///
+/// Construct with a [`ZeroEdConfig`] and call [`ZeroEd::detect`] with the
+/// dirty table and an [`LlmClient`]. The detector never looks at ground truth;
+/// any oracle knowledge lives exclusively inside the (simulated) LLM client
+/// supplied by the caller.
+#[derive(Debug, Clone)]
+pub struct ZeroEd {
+    config: ZeroEdConfig,
+}
+
+impl ZeroEd {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: ZeroEdConfig) -> Self {
+        Self { config }
+    }
+
+    /// Creates a detector with the paper's default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(ZeroEdConfig::default())
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> &ZeroEdConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on a dirty table and returns the predicted
+    /// error mask together with timings and statistics.
+    pub fn detect(&self, dirty: &Table, llm: &dyn LlmClient) -> DetectionOutcome {
+        let config = &self.config;
+        let n_rows = dirty.n_rows();
+        let n_cols = dirty.n_cols();
+        let mut stats = PipelineStats::default();
+        let mut timings = StepTimings::default();
+
+        if n_rows == 0 || n_cols == 0 {
+            return DetectionOutcome {
+                mask: ErrorMask::for_table(dirty),
+                timings,
+                stats,
+            };
+        }
+
+        // ------------------------------------------------------------------
+        // Step 1 — feature representation with criteria reasoning (§III-B).
+        // ------------------------------------------------------------------
+        let t0 = Instant::now();
+        let correlated = features::compute_correlated(dirty, config);
+        let criteria = features::generate_criteria(dirty, &correlated, config, llm);
+        let extra = features::criteria_extra(&criteria, dirty);
+        let feature_config = FeatureConfig {
+            embed_dim: config.embed_dim,
+            top_k_corr: config.effective_top_k(),
+            ..FeatureConfig::default()
+        };
+        let builder = FeatureBuilder::new(feature_config);
+        let fitted = builder.fit(dirty, &extra);
+        let feats = fitted.build_all();
+        stats.criteria_count = criteria.iter().flatten().map(|c| c.len()).sum();
+        timings.features = t0.elapsed();
+
+        // ------------------------------------------------------------------
+        // Step 2 — representative sampling (§III-C).
+        // ------------------------------------------------------------------
+        let t1 = Instant::now();
+        let samplings: Vec<sampling::ColumnSampling> = (0..n_cols)
+            .map(|j| {
+                sampling::sample_column(
+                    &feats.unified[j],
+                    config.clusters_for(n_rows),
+                    config.sampling.into(),
+                    config.seed.wrapping_add(j as u64),
+                    config.max_cluster_rows,
+                )
+            })
+            .collect();
+        timings.sampling = t1.elapsed();
+
+        // ------------------------------------------------------------------
+        // Step 3 — holistic LLM labelling (§III-C).
+        // ------------------------------------------------------------------
+        let t2 = Instant::now();
+        let mut column_labels = Vec::with_capacity(n_cols);
+        for j in 0..n_cols {
+            let ctx = AttributeContext {
+                table: dirty,
+                column: j,
+                correlated: &correlated[j],
+                sample_rows: &samplings[j].representatives,
+            };
+            let labels = labeling::label_representatives(
+                &ctx,
+                config,
+                llm,
+                &samplings[j].representatives,
+            );
+            stats.llm_labeled_cells += labels.len();
+            column_labels.push(labels);
+        }
+        timings.labeling = t2.elapsed();
+
+        // ------------------------------------------------------------------
+        // Step 4 — training-data construction (Algorithm 1).
+        // ------------------------------------------------------------------
+        let t3 = Instant::now();
+        let mut training: Vec<training_data::ColumnTrainingData> = Vec::with_capacity(n_cols);
+        for j in 0..n_cols {
+            let ctx = AttributeContext {
+                table: dirty,
+                column: j,
+                correlated: &correlated[j],
+                sample_rows: &samplings[j].representatives,
+            };
+            let data = training_data::construct(
+                &ctx,
+                config,
+                llm,
+                &samplings[j],
+                &column_labels[j],
+                criteria[j].clone(),
+            );
+            stats.propagated_cells += data.propagated_cells;
+            stats.verified_clean_rows += data.clean_rows.len();
+            stats.error_rows += data.error_rows.len();
+            stats.augmented_rows += data.augmented.len();
+            training.push(data);
+        }
+        stats.criteria_count = training
+            .iter()
+            .filter_map(|d| d.criteria.as_ref().map(|c| c.len()))
+            .sum();
+        timings.training_data = t3.elapsed();
+
+        // ------------------------------------------------------------------
+        // Step 5 — detector training and prediction (§III-D).
+        // ------------------------------------------------------------------
+        let t4 = Instant::now();
+        let mut mask = ErrorMask::for_table(dirty);
+        let predictions: Vec<Vec<bool>> = (0..n_cols)
+            .map(|j| {
+                detector::train_and_predict(
+                    dirty,
+                    j,
+                    &fitted,
+                    &feats.unified[j],
+                    &training[j],
+                    config,
+                )
+            })
+            .collect();
+        for (j, column_pred) in predictions.iter().enumerate() {
+            for (i, &flag) in column_pred.iter().enumerate() {
+                if flag {
+                    mask.set(i, j, true);
+                }
+            }
+        }
+        timings.detector = t4.elapsed();
+
+        DetectionOutcome {
+            mask,
+            timings,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
+    use zeroed_llm::SimLlm;
+
+    fn small_dataset() -> zeroed_datagen::GeneratedDataset {
+        generate(
+            DatasetSpec::Beers,
+            &GenerateOptions {
+                n_rows: 150,
+                seed: 3,
+                error_spec: None,
+            },
+        )
+    }
+
+    #[test]
+    fn pipeline_produces_a_useful_mask_with_oracle_llm() {
+        let ds = small_dataset();
+        let types = ds
+            .injected
+            .iter()
+            .map(|e| ((e.row, e.col), e.error_type))
+            .collect::<Vec<_>>();
+        let llm = SimLlm::default_model(1)
+            .with_oracle(ds.mask.clone())
+            .with_error_types(types);
+        let config = ZeroEdConfig {
+            label_rate: 0.1,
+            ..ZeroEdConfig::fast()
+        };
+        let outcome = ZeroEd::new(config).detect(&ds.dirty, &llm);
+        let report = outcome.mask.score_against(&ds.mask).unwrap();
+        assert!(
+            report.f1 > 0.45,
+            "expected a reasonable F1 on an easy dataset, got {report}"
+        );
+        assert!(outcome.stats.llm_labeled_cells > 0);
+        assert!(outcome.stats.verified_clean_rows > 0);
+        assert!(outcome.timings.total().as_nanos() > 0);
+        // The LLM labelled far fewer cells than the table contains.
+        assert!(outcome.stats.llm_labeled_cells < ds.dirty.n_cells() / 2);
+    }
+
+    #[test]
+    fn pipeline_handles_empty_table() {
+        let empty = Table::empty("e", vec!["a".into(), "b".into()]);
+        let llm = SimLlm::default_model(0);
+        let outcome = ZeroEd::with_defaults().detect(&empty, &llm);
+        assert_eq!(outcome.mask.error_count(), 0);
+    }
+
+    #[test]
+    fn ablations_run_and_disable_their_component() {
+        let ds = small_dataset();
+        let llm = SimLlm::default_model(2).with_oracle(ds.mask.clone());
+        let base_config = ZeroEdConfig {
+            label_rate: 0.08,
+            ..ZeroEdConfig::fast()
+        };
+        let no_crit = ZeroEd::new(base_config.clone().without_criteria()).detect(&ds.dirty, &llm);
+        assert_eq!(no_crit.stats.criteria_count, 0);
+        let no_corr = ZeroEd::new(base_config.clone().without_correlated());
+        assert_eq!(no_corr.config().effective_top_k(), 0);
+        let no_veri =
+            ZeroEd::new(base_config.clone().without_verification()).detect(&ds.dirty, &llm);
+        assert_eq!(no_veri.stats.augmented_rows, 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Pipeline outputs: the predicted error mask, per-step timings and summary
+//! statistics.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+use zeroed_table::ErrorMask;
+
+/// Wall-clock time spent in each pipeline step.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StepTimings {
+    /// Feature representation (criteria generation + feature matrices).
+    pub features: Duration,
+    /// Clustering-based sampling.
+    pub sampling: Duration,
+    /// Guideline generation and LLM labelling.
+    pub labeling: Duration,
+    /// Training-data construction (Algorithm 1).
+    pub training_data: Duration,
+    /// Detector training and prediction.
+    pub detector: Duration,
+}
+
+impl StepTimings {
+    /// Total wall-clock time across all steps.
+    pub fn total(&self) -> Duration {
+        self.features + self.sampling + self.labeling + self.training_data + self.detector
+    }
+}
+
+/// Summary counters describing what the pipeline did.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Cells labelled directly by the LLM.
+    pub llm_labeled_cells: usize,
+    /// Cells that received a label through in-cluster propagation.
+    pub propagated_cells: usize,
+    /// Training rows that survived mutual verification (clean class).
+    pub verified_clean_rows: usize,
+    /// Training rows labelled as errors (propagated error class).
+    pub error_rows: usize,
+    /// LLM-augmented synthetic error examples.
+    pub augmented_rows: usize,
+    /// Total error-checking criteria in use after refinement/verification.
+    pub criteria_count: usize,
+}
+
+/// The result of running ZeroED on a dirty table.
+#[derive(Debug, Clone)]
+pub struct DetectionOutcome {
+    /// Predicted error mask (one flag per cell).
+    pub mask: ErrorMask,
+    /// Per-step wall-clock timings.
+    pub timings: StepTimings,
+    /// Summary statistics.
+    pub stats: PipelineStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_total_sums_steps() {
+        let t = StepTimings {
+            features: Duration::from_millis(10),
+            sampling: Duration::from_millis(20),
+            labeling: Duration::from_millis(30),
+            training_data: Duration::from_millis(40),
+            detector: Duration::from_millis(50),
+        };
+        assert_eq!(t.total(), Duration::from_millis(150));
+        assert_eq!(StepTimings::default().total(), Duration::ZERO);
+    }
+}

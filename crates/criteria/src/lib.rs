@@ -1,0 +1,26 @@
+//! # zeroed-criteria
+//!
+//! Executable error-checking criteria (paper §III-B "error reason-aware
+//! features" and §III-D "mutual verification").
+//!
+//! In the paper the LLM emits Python functions such as
+//! `is_clean_consistent_with_measure_code(row, attr)` that encode concrete
+//! error reasons; executing them over every cell yields binary
+//! "satisfies-this-criterion" features. In this reproduction the criteria are
+//! expressed in a small declarative DSL ([`Check`]) that covers the same
+//! operation families the paper's examples use — null checks, format/pattern
+//! templates, numeric and length ranges, domain membership, and
+//! cross-attribute consistency (functional-dependency lookups and keyword
+//! co-occurrence). A [`Criterion`] couples a check with the human-readable
+//! rationale the LLM produced.
+//!
+//! The [`verify`] module implements the mutual-verification half of the
+//! paper's Algorithm 1: criteria are scored against propagated clean labels
+//! and dropped below an accuracy threshold, then surviving criteria are used
+//! to discard unreliable propagated labels.
+
+pub mod dsl;
+pub mod verify;
+
+pub use dsl::{Check, CriteriaSet, Criterion};
+pub use verify::{criteria_features, criterion_accuracy, filter_criteria, filter_rows, pass_rate};

@@ -1,0 +1,199 @@
+//! Mutual verification between criteria and propagated labels, plus the
+//! criteria-feature extraction used by the feature builder.
+//!
+//! Algorithm 1 of the paper refines training data in two passes:
+//!
+//! 1. **verify criteria with right labels** — every refined criterion is
+//!    scored on cells whose propagated label says "clean"; criteria whose
+//!    accuracy falls below 0.5 are dropped ([`filter_criteria`]);
+//! 2. **verify data with reliable criteria** — propagated "clean" cells that
+//!    fail more than half of the surviving criteria are discarded
+//!    ([`filter_rows`]).
+
+use crate::dsl::{CriteriaSet, Criterion};
+use zeroed_table::Table;
+
+/// Fraction of the given rows (all assumed labelled clean) that satisfy the
+/// criterion. Returns 1.0 for an empty row set (no evidence against it).
+pub fn criterion_accuracy(
+    criterion: &Criterion,
+    table: &Table,
+    col: usize,
+    clean_rows: &[usize],
+) -> f64 {
+    if clean_rows.is_empty() {
+        return 1.0;
+    }
+    let satisfied = clean_rows
+        .iter()
+        .filter(|&&row| criterion.evaluate(table, row, col))
+        .count();
+    satisfied as f64 / clean_rows.len() as f64
+}
+
+/// Fraction of criteria in the set that the cell satisfies. Returns 1.0 for an
+/// empty criteria set.
+pub fn pass_rate(set: &CriteriaSet, table: &Table, row: usize) -> f64 {
+    if set.is_empty() {
+        return 1.0;
+    }
+    let passed = set
+        .criteria
+        .iter()
+        .filter(|c| c.evaluate(table, row, set.column))
+        .count();
+    passed as f64 / set.criteria.len() as f64
+}
+
+/// Drops criteria whose accuracy on clean-labelled rows is below `threshold`
+/// (Algorithm 1 lines 8–14; the paper uses 0.5). Returns the retained set.
+pub fn filter_criteria(
+    set: &CriteriaSet,
+    table: &Table,
+    clean_rows: &[usize],
+    threshold: f64,
+) -> CriteriaSet {
+    let criteria = set
+        .criteria
+        .iter()
+        .filter(|c| criterion_accuracy(c, table, set.column, clean_rows) >= threshold)
+        .cloned()
+        .collect();
+    CriteriaSet {
+        column: set.column,
+        criteria,
+    }
+}
+
+/// Keeps only the clean-labelled rows whose pass rate over the (verified)
+/// criteria reaches `threshold` (Algorithm 1 lines 15–20; the paper uses 0.5).
+pub fn filter_rows(
+    set: &CriteriaSet,
+    table: &Table,
+    clean_rows: &[usize],
+    threshold: f64,
+) -> Vec<usize> {
+    clean_rows
+        .iter()
+        .copied()
+        .filter(|&row| pass_rate(set, table, row) >= threshold)
+        .collect()
+}
+
+/// Evaluates a column's criteria over every row, producing the binary
+/// error-reason-aware feature block (`f_cri`) consumed by
+/// `zeroed-features::FeatureBuilder` as `extra` features. Satisfied criteria
+/// map to `1.0`, violated ones to `0.0`.
+pub fn criteria_features(set: &CriteriaSet, table: &Table) -> Vec<Vec<f32>> {
+    if set.is_empty() {
+        return Vec::new();
+    }
+    (0..table.n_rows())
+        .map(|row| {
+            set.evaluate_cell(table, row)
+                .into_iter()
+                .map(|b| if b { 1.0 } else { 0.0 })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::Check;
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec!["zip".into()],
+            vec![
+                vec!["35233".into()],
+                vec!["90210".into()],
+                vec!["9021".into()],
+                vec!["".into()],
+                vec!["abcde".into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn set() -> CriteriaSet {
+        CriteriaSet {
+            column: 0,
+            criteria: vec![
+                Criterion::new("not_missing", "zip present", Check::NotMissing),
+                Criterion::new(
+                    "five_digits",
+                    "zip is 5 chars",
+                    Check::LengthRange { min: 5, max: 5 },
+                ),
+                Criterion::new(
+                    "numeric",
+                    "zip is numeric",
+                    Check::NumericRange { min: 0.0, max: 99999.0 },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn accuracy_and_pass_rate() {
+        let t = table();
+        let s = set();
+        // Rows 0 and 1 are genuinely clean.
+        let acc = criterion_accuracy(&s.criteria[1], &t, 0, &[0, 1]);
+        assert_eq!(acc, 1.0);
+        // Row 2 (4 digits) fails the length criterion.
+        let acc = criterion_accuracy(&s.criteria[1], &t, 0, &[0, 1, 2]);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(criterion_accuracy(&s.criteria[0], &t, 0, &[]), 1.0);
+
+        assert_eq!(pass_rate(&s, &t, 0), 1.0);
+        assert!((pass_rate(&s, &t, 2) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(pass_rate(&s, &t, 3), 0.0);
+        let empty = CriteriaSet::new(0);
+        assert_eq!(pass_rate(&empty, &t, 3), 1.0);
+    }
+
+    #[test]
+    fn filtering_criteria_drops_inaccurate_ones() {
+        let t = table();
+        let mut s = set();
+        // Add a bogus criterion that fails on every clean value.
+        s.criteria.push(Criterion::new(
+            "bogus",
+            "zips must equal 00000 (wrong)",
+            Check::Domain {
+                allowed: ["00000".to_string()].into_iter().collect(),
+            },
+        ));
+        let kept = filter_criteria(&s, &t, &[0, 1], 0.5);
+        assert_eq!(kept.len(), 4 - 1);
+        assert!(kept.criteria.iter().all(|c| c.name != "bogus"));
+    }
+
+    #[test]
+    fn filtering_rows_drops_unreliable_labels() {
+        let t = table();
+        let s = set();
+        // Suppose propagation labelled rows 0, 2, 3 and 4 as clean.
+        let kept = filter_rows(&s, &t, &[0, 2, 3, 4], 0.5);
+        // Row 0 passes 3/3, row 2 passes 2/3, row 3 passes 0/3, row 4 passes
+        // 2/3 ("abcde" is non-missing and five characters, but not numeric).
+        assert_eq!(kept, vec![0, 2, 4]);
+        // A stricter threshold keeps only the fully consistent row.
+        assert_eq!(filter_rows(&s, &t, &[0, 2, 3, 4], 0.9), vec![0]);
+    }
+
+    #[test]
+    fn criteria_feature_matrix_shape() {
+        let t = table();
+        let s = set();
+        let feats = criteria_features(&s, &t);
+        assert_eq!(feats.len(), 5);
+        assert_eq!(feats[0], vec![1.0, 1.0, 1.0]);
+        assert_eq!(feats[3], vec![0.0, 0.0, 0.0]);
+        assert!(criteria_features(&CriteriaSet::new(0), &t).is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Subword-hashing embeddings (`f_sem`, paper §III-B).
+//!
+//! The paper averages pre-trained FastText word vectors over a cell value's
+//! tokens. FastText itself represents a word as the sum of its character
+//! n-gram vectors; this module reproduces that mechanism directly: each
+//! character n-gram (3–5 characters, with `<`/`>` boundary markers) is hashed
+//! into one of `dim` buckets with a deterministic sign, token vectors are the
+//! normalised sum of their n-gram contributions, and the value embedding is
+//! the average of its token vectors. Lexically similar strings (typos,
+//! reformatted values) therefore land close together — the property ZeroED
+//! relies on — without any external model file.
+
+use zeroed_table::value::tokenize;
+
+/// Deterministic FNV-1a hash (64-bit).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Character n-gram hashing embedder.
+#[derive(Debug, Clone)]
+pub struct HashEmbedder {
+    dim: usize,
+    min_ngram: usize,
+    max_ngram: usize,
+}
+
+impl Default for HashEmbedder {
+    fn default() -> Self {
+        Self::new(24)
+    }
+}
+
+impl HashEmbedder {
+    /// Creates an embedder producing `dim`-dimensional vectors with n-grams of
+    /// length 3–5.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim: dim.max(1),
+            min_ngram: 3,
+            max_ngram: 5,
+        }
+    }
+
+    /// Creates an embedder with a custom n-gram range.
+    pub fn with_ngrams(dim: usize, min_ngram: usize, max_ngram: usize) -> Self {
+        assert!(min_ngram >= 1 && max_ngram >= min_ngram);
+        Self {
+            dim: dim.max(1),
+            min_ngram,
+            max_ngram,
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embeds a single token by hashing its character n-grams.
+    fn embed_token(&self, token: &str, out: &mut [f32]) {
+        let marked: Vec<char> = std::iter::once('<')
+            .chain(token.chars())
+            .chain(std::iter::once('>'))
+            .collect();
+        let mut n_grams = 0usize;
+        for n in self.min_ngram..=self.max_ngram {
+            if marked.len() < n {
+                continue;
+            }
+            for window in marked.windows(n) {
+                let s: String = window.iter().collect();
+                let h = fnv1a(s.as_bytes());
+                let bucket = (h % self.dim as u64) as usize;
+                let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+                out[bucket] += sign;
+                n_grams += 1;
+            }
+        }
+        // Also hash the whole token so very short tokens still contribute.
+        let h = fnv1a(token.as_bytes());
+        let bucket = (h % self.dim as u64) as usize;
+        out[bucket] += if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+        n_grams += 1;
+        if n_grams > 0 {
+            for x in out.iter_mut() {
+                *x /= n_grams as f32;
+            }
+        }
+    }
+
+    /// Embeds a cell value: tokenises it, embeds each token and averages,
+    /// then L2-normalises. Missing/empty values map to the zero vector.
+    pub fn embed(&self, value: &str) -> Vec<f32> {
+        let tokens = tokenize(value);
+        let mut acc = vec![0.0f32; self.dim];
+        if tokens.is_empty() {
+            return acc;
+        }
+        let mut tmp = vec![0.0f32; self.dim];
+        for token in &tokens {
+            tmp.iter_mut().for_each(|x| *x = 0.0);
+            self.embed_token(token, &mut tmp);
+            for (a, t) in acc.iter_mut().zip(tmp.iter()) {
+                *a += t;
+            }
+        }
+        for x in acc.iter_mut() {
+            *x /= tokens.len() as f32;
+        }
+        let norm: f32 = acc.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 1e-12 {
+            for x in acc.iter_mut() {
+                *x /= norm;
+            }
+        }
+        acc
+    }
+
+    /// Cosine similarity between the embeddings of two values.
+    pub fn similarity(&self, a: &str, b: &str) -> f32 {
+        let ea = self.embed(a);
+        let eb = self.embed(b);
+        ea.iter().zip(eb.iter()).map(|(x, y)| x * y).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_and_determinism() {
+        let e = HashEmbedder::new(16);
+        assert_eq!(e.dim(), 16);
+        let a = e.embed("Bob Johnson");
+        let b = e.embed("Bob Johnson");
+        assert_eq!(a.len(), 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_is_zero_vector() {
+        let e = HashEmbedder::default();
+        let z = e.embed("");
+        assert!(z.iter().all(|&x| x == 0.0));
+        let z2 = e.embed("   ");
+        assert!(z2.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn embeddings_are_normalized() {
+        let e = HashEmbedder::new(32);
+        let v = e.embed("pneumonia");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn typos_are_closer_than_unrelated_words() {
+        let e = HashEmbedder::new(48);
+        let typo_sim = e.similarity("Bachelor", "Bechxlor");
+        let unrelated_sim = e.similarity("Bachelor", "pneumonia");
+        assert!(
+            typo_sim > unrelated_sim,
+            "typo similarity {typo_sim} should exceed unrelated {unrelated_sim}"
+        );
+        assert!(typo_sim > 0.1, "typo similarity {typo_sim} too low");
+    }
+
+    #[test]
+    fn identical_strings_have_similarity_one() {
+        let e = HashEmbedder::new(24);
+        assert!((e.similarity("heart attack", "heart attack") - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn custom_ngram_range() {
+        let e = HashEmbedder::with_ngrams(8, 2, 3);
+        assert_eq!(e.embed("ab").len(), 8);
+        // Short tokens still produce a non-zero vector via the whole-token hash.
+        assert!(e.embed("a").iter().any(|&x| x != 0.0));
+    }
+}

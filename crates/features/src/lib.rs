@@ -1,0 +1,34 @@
+//! # zeroed-features
+//!
+//! Feature representation for ZeroED (paper §III-B).
+//!
+//! ZeroED represents every cell value `D[i,j]` by a *base feature vector*
+//! combining:
+//!
+//! * **statistical features** — value frequency, vicinity (co-occurrence)
+//!   frequency with correlated attributes, and pattern frequency at three
+//!   generalisation levels ([`stats`], [`pattern`]);
+//! * **semantic features** — an averaged subword-hashing embedding standing in
+//!   for the paper's FastText vectors ([`embed`]);
+//! * **error-reason-aware criteria features** — binary indicators of whether
+//!   the value satisfies each LLM-derived error-checking criterion (produced
+//!   by `zeroed-criteria` / `zeroed-llm` and passed into the builder as extra
+//!   columns).
+//!
+//! Base vectors of the top-`k` correlated attributes (by normalised mutual
+//! information, [`nmi`]) are concatenated to form the *unified representation*
+//! used for clustering, sampling and the MLP detector ([`unified`]).
+
+pub mod embed;
+pub mod matrix;
+pub mod nmi;
+pub mod pattern;
+pub mod stats;
+pub mod unified;
+
+pub use embed::HashEmbedder;
+pub use matrix::FeatureMatrix;
+pub use nmi::{normalized_mutual_information, top_k_correlated};
+pub use pattern::{generalize, Level};
+pub use stats::FrequencyModel;
+pub use unified::{FeatureBuilder, FeatureConfig, FittedFeatures, TableFeatures};

@@ -1,0 +1,202 @@
+//! Statistical frequency features (paper §III-B, `f_stat` and `f_pat`).
+//!
+//! Three frequency families are computed for a cell value `D[i, j]`:
+//!
+//! * **value frequency** — how often the value occurs in its own attribute;
+//! * **vicinity frequency** — for another attribute `a_q`, how often the pair
+//!   `(D[i,q], D[i,j])` co-occurs, normalised by the frequency of `D[i,q]`
+//!   (an empirical estimate of `P(D[i,j] | D[i,q])`);
+//! * **pattern frequency** — how often the value's generalised pattern (at
+//!   levels L1–L3) occurs within the attribute.
+
+use crate::pattern::{generalize, Level};
+use std::collections::HashMap;
+use zeroed_table::Table;
+
+/// Pre-computed per-attribute frequency statistics for one table.
+#[derive(Debug, Clone)]
+pub struct FrequencyModel {
+    n_rows: usize,
+    /// Per column: value → count.
+    value_counts: Vec<HashMap<String, usize>>,
+    /// Per column and level: pattern → count.
+    pattern_counts: Vec<[HashMap<String, usize>; 3]>,
+    /// Lazily built co-occurrence maps keyed by (col_j, col_q):
+    /// (value_j, value_q) → count.
+    pair_counts: HashMap<(usize, usize), HashMap<(String, String), usize>>,
+}
+
+impl FrequencyModel {
+    /// Builds value and pattern counts for every column of the table.
+    pub fn new(table: &Table) -> Self {
+        let n_cols = table.n_cols();
+        let n_rows = table.n_rows();
+        let mut value_counts = vec![HashMap::new(); n_cols];
+        let mut pattern_counts: Vec<[HashMap<String, usize>; 3]> = (0..n_cols)
+            .map(|_| [HashMap::new(), HashMap::new(), HashMap::new()])
+            .collect();
+        for row in table.rows() {
+            for (j, v) in row.iter().enumerate() {
+                *value_counts[j].entry(v.clone()).or_insert(0) += 1;
+                for (li, level) in Level::ALL.iter().enumerate() {
+                    let pat = generalize(v, *level);
+                    *pattern_counts[j][li].entry(pat).or_insert(0) += 1;
+                }
+            }
+        }
+        Self {
+            n_rows,
+            value_counts,
+            pattern_counts,
+            pair_counts: HashMap::new(),
+        }
+    }
+
+    /// Number of rows of the underlying table.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Relative frequency of `value` within column `col` (0 when unseen).
+    pub fn value_frequency(&self, col: usize, value: &str) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        *self.value_counts[col].get(value).unwrap_or(&0) as f64 / self.n_rows as f64
+    }
+
+    /// Absolute count of `value` within column `col`.
+    pub fn value_count(&self, col: usize, value: &str) -> usize {
+        *self.value_counts[col].get(value).unwrap_or(&0)
+    }
+
+    /// Number of distinct values in a column.
+    pub fn distinct_count(&self, col: usize) -> usize {
+        self.value_counts[col].len()
+    }
+
+    /// Relative frequency of the value's generalised pattern at `level`.
+    pub fn pattern_frequency(&self, col: usize, value: &str, level: Level) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        let li = match level {
+            Level::L1 => 0,
+            Level::L2 => 1,
+            Level::L3 => 2,
+        };
+        let pat = generalize(value, level);
+        *self.pattern_counts[col][li].get(&pat).unwrap_or(&0) as f64 / self.n_rows as f64
+    }
+
+    /// Ensures the co-occurrence map for `(col_j, col_q)` is built. Pair maps
+    /// are constructed lazily because only the top-`k` correlated attribute
+    /// pairs are ever requested.
+    pub fn prepare_pair(&mut self, table: &Table, col_j: usize, col_q: usize) {
+        if col_j == col_q || self.pair_counts.contains_key(&(col_j, col_q)) {
+            return;
+        }
+        let mut map: HashMap<(String, String), usize> = HashMap::new();
+        for row in table.rows() {
+            *map.entry((row[col_j].clone(), row[col_q].clone()))
+                .or_insert(0) += 1;
+        }
+        self.pair_counts.insert((col_j, col_q), map);
+    }
+
+    /// Vicinity frequency: empirical `P(value_j | value_q)` where `value_q`
+    /// is the co-occurring value in attribute `col_q`.
+    ///
+    /// Returns the value frequency when `col_j == col_q` (the paper's
+    /// definition collapses to the value frequency in that case). The pair map
+    /// must have been prepared with [`FrequencyModel::prepare_pair`];
+    /// otherwise 0 is returned.
+    pub fn vicinity_frequency(
+        &self,
+        col_j: usize,
+        value_j: &str,
+        col_q: usize,
+        value_q: &str,
+    ) -> f64 {
+        if col_j == col_q {
+            return self.value_frequency(col_j, value_j);
+        }
+        let denom = self.value_count(col_q, value_q);
+        if denom == 0 {
+            return 0.0;
+        }
+        let num = self
+            .pair_counts
+            .get(&(col_j, col_q))
+            .and_then(|m| m.get(&(value_j.to_string(), value_q.to_string())))
+            .copied()
+            .unwrap_or(0);
+        num as f64 / denom as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec!["name".into(), "gender".into(), "salary".into()],
+            vec![
+                vec!["bob".into(), "M".into(), "80000".into()],
+                vec!["bob".into(), "M".into(), "80000".into()],
+                vec!["carol".into(), "F".into(), "6000".into()],
+                vec!["dave".into(), "M".into(), "64000".into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn value_frequency() {
+        let fm = FrequencyModel::new(&table());
+        assert!((fm.value_frequency(0, "bob") - 0.5).abs() < 1e-12);
+        assert!((fm.value_frequency(0, "carol") - 0.25).abs() < 1e-12);
+        assert_eq!(fm.value_frequency(0, "unknown"), 0.0);
+        assert_eq!(fm.value_count(1, "M"), 3);
+        assert_eq!(fm.distinct_count(0), 3);
+    }
+
+    #[test]
+    fn pattern_frequency_groups_same_formats() {
+        let fm = FrequencyModel::new(&table());
+        // All salaries are digit strings; at L2 they share a pattern family
+        // (D[5] for the 5-digit ones, D[4] for 6000).
+        assert!((fm.pattern_frequency(2, "80000", Level::L2) - 0.75).abs() < 1e-12);
+        assert!((fm.pattern_frequency(2, "6000", Level::L2) - 0.25).abs() < 1e-12);
+        // L2 pattern of a new 5-digit value is still frequent even if unseen.
+        assert!((fm.pattern_frequency(2, "99999", Level::L2) - 0.75).abs() < 1e-12);
+        // L1 keeps run lengths: "bob" (A[3]) appears twice out of four names.
+        assert!((fm.pattern_frequency(0, "bob", Level::L1) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vicinity_frequency_estimates_conditionals() {
+        let t = table();
+        let mut fm = FrequencyModel::new(&t);
+        fm.prepare_pair(&t, 1, 0); // P(gender | name)
+        assert!((fm.vicinity_frequency(1, "M", 0, "bob") - 1.0).abs() < 1e-12);
+        assert_eq!(fm.vicinity_frequency(1, "F", 0, "bob"), 0.0);
+        // Same column collapses to value frequency.
+        assert!((fm.vicinity_frequency(1, "M", 1, "M") - 0.75).abs() < 1e-12);
+        // Unknown conditioning value.
+        assert_eq!(fm.vicinity_frequency(1, "M", 0, "nobody"), 0.0);
+        // Unprepared pair returns 0 rather than panicking.
+        assert_eq!(fm.vicinity_frequency(2, "80000", 0, "bob"), 0.0);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::empty("e", vec!["a".into()]);
+        let fm = FrequencyModel::new(&t);
+        assert_eq!(fm.value_frequency(0, "x"), 0.0);
+        assert_eq!(fm.pattern_frequency(0, "x", Level::L1), 0.0);
+        assert_eq!(fm.n_rows(), 0);
+    }
+}

@@ -1,0 +1,384 @@
+//! The unified feature representation (paper §III-B).
+//!
+//! For each attribute the [`FeatureBuilder`] assembles a *base* feature matrix
+//! (statistics + pattern frequencies + semantic embedding + optional
+//! error-reason-aware criteria indicators) and then concatenates the base
+//! features of the top-`k` NMI-correlated attributes to form the *unified*
+//! representation `Feat(D[i,j]) = f_base(D[i,j]) ⊕ { f_base(D[i,q]) }` used by
+//! clustering, sampling and the detector.
+//!
+//! [`FittedFeatures`] keeps the fitted statistics (frequency model, correlated
+//! attributes) so that individual cells — including hypothetical values that
+//! do not appear in the table, such as the LLM-augmented error examples of
+//! Algorithm 1 — can be featurised consistently after the initial build.
+
+use crate::embed::HashEmbedder;
+use crate::matrix::FeatureMatrix;
+use crate::nmi::top_k_correlated_sampled;
+use crate::pattern::Level;
+use crate::stats::FrequencyModel;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use zeroed_table::value::is_missing;
+use zeroed_table::Table;
+
+/// Configuration of the feature representation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Dimensionality of the semantic (subword hashing) embedding.
+    pub embed_dim: usize,
+    /// Number of correlated attributes whose base features are concatenated
+    /// (the paper's default is 2).
+    pub top_k_corr: usize,
+    /// Include the semantic embedding component.
+    pub include_semantic: bool,
+    /// Include the statistical frequency component.
+    pub include_stats: bool,
+    /// Row-sample cap used when estimating NMI on large tables.
+    pub nmi_sample_rows: usize,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        Self {
+            embed_dim: 24,
+            top_k_corr: 2,
+            include_semantic: true,
+            include_stats: true,
+            nmi_sample_rows: 5_000,
+        }
+    }
+}
+
+/// The per-table output of feature construction.
+#[derive(Debug, Clone)]
+pub struct TableFeatures {
+    /// Unified feature matrix per attribute (base ⊕ correlated bases).
+    pub unified: Vec<FeatureMatrix>,
+    /// Base feature matrix per attribute.
+    pub base: Vec<FeatureMatrix>,
+    /// Indices of the correlated attributes chosen for each attribute.
+    pub correlated: Vec<Vec<usize>>,
+}
+
+impl TableFeatures {
+    /// Unified feature dimensionality of one attribute.
+    pub fn dim(&self, col: usize) -> usize {
+        self.unified[col].n_cols()
+    }
+}
+
+/// Builds base and unified feature matrices for a table.
+#[derive(Debug, Clone)]
+pub struct FeatureBuilder {
+    config: FeatureConfig,
+    embedder: HashEmbedder,
+}
+
+/// Fitted per-table feature state: the frequency model, the correlated
+/// attributes and the extra (criteria) feature blocks. Produced by
+/// [`FeatureBuilder::fit`]; can featurise arbitrary cells, including cells
+/// with an overridden (synthetic) value.
+pub struct FittedFeatures<'a> {
+    config: FeatureConfig,
+    embedder: &'a HashEmbedder,
+    table: &'a Table,
+    extra: &'a [Vec<Vec<f32>>],
+    freq: FrequencyModel,
+    correlated: Vec<Vec<usize>>,
+}
+
+impl FeatureBuilder {
+    /// Creates a builder from a configuration.
+    pub fn new(config: FeatureConfig) -> Self {
+        let embedder = HashEmbedder::new(config.embed_dim);
+        Self { config, embedder }
+    }
+
+    /// The builder's configuration.
+    pub fn config(&self) -> &FeatureConfig {
+        &self.config
+    }
+
+    /// Fits the per-table feature state (frequency model, correlated
+    /// attributes) without materialising the full matrices.
+    ///
+    /// `extra` supplies optional per-attribute, per-row additional features —
+    /// ZeroED passes the binary error-checking-criteria indicators here. Use an
+    /// empty slice (or empty inner vectors) when there are none. `extra[j]`,
+    /// when present, must contain one vector per row.
+    pub fn fit<'a>(&'a self, table: &'a Table, extra: &'a [Vec<Vec<f32>>]) -> FittedFeatures<'a> {
+        let n_cols = table.n_cols();
+        let correlated: Vec<Vec<usize>> = (0..n_cols)
+            .map(|j| {
+                top_k_correlated_sampled(
+                    table,
+                    j,
+                    self.config.top_k_corr,
+                    self.config.nmi_sample_rows,
+                )
+            })
+            .collect();
+        let mut freq = FrequencyModel::new(table);
+        if self.config.include_stats {
+            for (j, corr) in correlated.iter().enumerate() {
+                for &q in corr {
+                    freq.prepare_pair(table, j, q);
+                }
+            }
+        }
+        FittedFeatures {
+            config: self.config.clone(),
+            embedder: &self.embedder,
+            table,
+            extra,
+            freq,
+            correlated,
+        }
+    }
+
+    /// Builds features for every attribute of `table` (fit + materialise).
+    pub fn build(&self, table: &Table, extra: &[Vec<Vec<f32>>]) -> TableFeatures {
+        self.fit(table, extra).build_all()
+    }
+}
+
+impl<'a> FittedFeatures<'a> {
+    /// The correlated attributes chosen for each column.
+    pub fn correlated(&self) -> &[Vec<usize>] {
+        &self.correlated
+    }
+
+    /// Base feature vector for one cell. `value_override` substitutes a
+    /// hypothetical value for the cell (used to featurise augmented error
+    /// examples in the context of an existing row); `extra_override` replaces
+    /// the cell's extra (criteria) features, which callers must supply when
+    /// overriding the value and criteria features are in use.
+    pub fn base_row(
+        &self,
+        row: usize,
+        col: usize,
+        value_override: Option<&str>,
+        extra_override: Option<&[f32]>,
+    ) -> Vec<f32> {
+        let value = value_override.unwrap_or_else(|| self.table.cell(row, col));
+        let mut feat: Vec<f32> = Vec::new();
+        if self.config.include_stats {
+            feat.push(self.freq.value_frequency(col, value) as f32);
+            feat.push(self.freq.pattern_frequency(col, value, Level::L1) as f32);
+            feat.push(self.freq.pattern_frequency(col, value, Level::L2) as f32);
+            feat.push(self.freq.pattern_frequency(col, value, Level::L3) as f32);
+            for &q in &self.correlated[col] {
+                feat.push(
+                    self.freq
+                        .vicinity_frequency(col, value, q, self.table.cell(row, q))
+                        as f32,
+                );
+            }
+            feat.push((value.chars().count() as f32 / 64.0).min(1.0));
+            feat.push(if is_missing(value) { 1.0 } else { 0.0 });
+        }
+        if self.config.include_semantic {
+            feat.extend(self.embedder.embed(value));
+        }
+        let extra_cell: Option<&[f32]> = extra_override.or_else(|| {
+            self.extra
+                .get(col)
+                .filter(|v| !v.is_empty())
+                .map(|v| v[row].as_slice())
+        });
+        if let Some(extra) = extra_cell {
+            feat.extend(extra.iter().copied());
+        }
+        if feat.is_empty() {
+            feat.push(0.0);
+        }
+        feat
+    }
+
+    /// Unified feature vector for one cell: its base features concatenated
+    /// with the base features of its correlated attributes (taken from the
+    /// stored table, never overridden).
+    pub fn unified_row(
+        &self,
+        row: usize,
+        col: usize,
+        value_override: Option<&str>,
+        extra_override: Option<&[f32]>,
+    ) -> Vec<f32> {
+        let mut feat = self.base_row(row, col, value_override, extra_override);
+        for &q in &self.correlated[col] {
+            feat.extend(self.base_row(row, q, None, None));
+        }
+        feat
+    }
+
+    /// Materialises the full base and unified matrices for every attribute.
+    pub fn build_all(&self) -> TableFeatures {
+        let n_cols = self.table.n_cols();
+        let n_rows = self.table.n_rows();
+        let base: Vec<FeatureMatrix> = (0..n_cols)
+            .into_par_iter()
+            .map(|j| {
+                let rows: Vec<Vec<f32>> = (0..n_rows)
+                    .map(|i| self.base_row(i, j, None, None))
+                    .collect();
+                FeatureMatrix::from_rows(rows)
+            })
+            .collect();
+        let unified: Vec<FeatureMatrix> = (0..n_cols)
+            .into_par_iter()
+            .map(|j| {
+                let mut m = base[j].clone();
+                for &q in &self.correlated[j] {
+                    m = m.hconcat(&base[q]);
+                }
+                m
+            })
+            .collect();
+        TableFeatures {
+            unified,
+            base,
+            correlated: self.correlated.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let rows: Vec<Vec<String>> = (0..60)
+            .map(|i| {
+                let name = format!("person{}", i % 12);
+                let gender = if (i % 12) < 6 { "M" } else { "F" };
+                let salary = format!("{}", 40_000 + (i % 12) * 1_000);
+                vec![name, gender.to_string(), salary]
+            })
+            .collect();
+        Table::new(
+            "t",
+            vec!["name".into(), "gender".into(), "salary".into()],
+            rows,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_matrices_of_expected_shape() {
+        let t = table();
+        let builder = FeatureBuilder::new(FeatureConfig {
+            embed_dim: 8,
+            top_k_corr: 2,
+            ..Default::default()
+        });
+        let feats = builder.build(&t, &[]);
+        assert_eq!(feats.base.len(), 3);
+        assert_eq!(feats.unified.len(), 3);
+        for j in 0..3 {
+            assert_eq!(feats.base[j].n_rows(), 60);
+            assert_eq!(feats.unified[j].n_rows(), 60);
+            // base dim: 4 freq + 2 vicinity + 2 misc + 8 embed = 16
+            assert_eq!(feats.base[j].n_cols(), 16);
+            // unified: base + 2 correlated bases
+            assert_eq!(feats.unified[j].n_cols(), 16 * 3);
+            assert_eq!(feats.correlated[j].len(), 2);
+            assert_eq!(feats.dim(j), 48);
+        }
+    }
+
+    #[test]
+    fn extra_features_are_appended() {
+        let t = table();
+        let builder = FeatureBuilder::new(FeatureConfig {
+            embed_dim: 4,
+            top_k_corr: 1,
+            ..Default::default()
+        });
+        let extra: Vec<Vec<Vec<f32>>> = vec![
+            (0..60).map(|_| vec![1.0, 0.0]).collect(),
+            Vec::new(),
+            Vec::new(),
+        ];
+        let feats = builder.build(&t, &extra);
+        // Column 0 has 2 extra dims compared to columns 1 and 2.
+        assert_eq!(feats.base[0].n_cols(), feats.base[1].n_cols() + 2);
+        assert_eq!(feats.base[0].row(0)[feats.base[0].n_cols() - 2], 1.0);
+    }
+
+    #[test]
+    fn stats_only_and_semantic_only() {
+        let t = table();
+        let stats_only = FeatureBuilder::new(FeatureConfig {
+            include_semantic: false,
+            top_k_corr: 1,
+            ..Default::default()
+        })
+        .build(&t, &[]);
+        assert_eq!(stats_only.base[0].n_cols(), 4 + 1 + 2);
+        let sem_only = FeatureBuilder::new(FeatureConfig {
+            include_stats: false,
+            embed_dim: 6,
+            top_k_corr: 0,
+            ..Default::default()
+        })
+        .build(&t, &[]);
+        assert_eq!(sem_only.base[0].n_cols(), 6);
+        assert!(sem_only.correlated[0].is_empty());
+    }
+
+    #[test]
+    fn identical_values_share_feature_rows() {
+        let t = table();
+        let feats = FeatureBuilder::new(FeatureConfig {
+            embed_dim: 8,
+            top_k_corr: 1,
+            ..Default::default()
+        })
+        .build(&t, &[]);
+        // Rows 0 and 12 hold the same (name, gender, salary) combination.
+        assert_eq!(feats.unified[0].row(0), feats.unified[0].row(12));
+    }
+
+    #[test]
+    fn fitted_rows_match_built_matrices() {
+        let t = table();
+        let builder = FeatureBuilder::new(FeatureConfig {
+            embed_dim: 8,
+            top_k_corr: 2,
+            ..Default::default()
+        });
+        let fitted = builder.fit(&t, &[]);
+        let built = fitted.build_all();
+        for j in 0..3 {
+            for i in [0usize, 7, 59] {
+                assert_eq!(
+                    fitted.unified_row(i, j, None, None),
+                    built.unified[j].row(i).to_vec(),
+                    "cell ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn value_override_changes_only_base_part() {
+        let t = table();
+        let builder = FeatureBuilder::new(FeatureConfig {
+            embed_dim: 8,
+            top_k_corr: 1,
+            ..Default::default()
+        });
+        let fitted = builder.fit(&t, &[]);
+        let normal = fitted.unified_row(0, 2, None, None);
+        let overridden = fitted.unified_row(0, 2, Some("999999999"), None);
+        assert_eq!(normal.len(), overridden.len());
+        assert_ne!(normal, overridden);
+        // The correlated (tail) block is unchanged by the override.
+        let base_dim = fitted.base_row(0, 2, None, None).len();
+        assert_eq!(normal[base_dim..], overridden[base_dim..]);
+        // An unseen value has zero value-frequency.
+        assert_eq!(overridden[0], 0.0);
+    }
+}

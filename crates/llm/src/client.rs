@@ -1,0 +1,230 @@
+//! The [`LlmClient`] trait and the structured request/response types shared by
+//! the ZeroED pipeline, the FM_ED baseline and the simulated model.
+
+use crate::token::TokenLedger;
+use serde::{Deserialize, Serialize};
+use zeroed_criteria::CriteriaSet;
+use zeroed_table::{ErrorType, Table};
+
+/// Everything an LLM call needs to know about the attribute it is working on.
+#[derive(Debug, Clone, Copy)]
+pub struct AttributeContext<'a> {
+    /// The dirty table being cleaned.
+    pub table: &'a Table,
+    /// Index of the attribute under consideration.
+    pub column: usize,
+    /// Indices of the attribute's top correlated attributes (by NMI), used to
+    /// provide cross-attribute context in prompts and reasoning.
+    pub correlated: &'a [usize],
+    /// Row indices of the representative samples selected by clustering.
+    pub sample_rows: &'a [usize],
+}
+
+impl<'a> AttributeContext<'a> {
+    /// Name of the attribute.
+    pub fn column_name(&self) -> &str {
+        &self.table.columns()[self.column]
+    }
+
+    /// Serialises one sample row restricted to this attribute and its
+    /// correlated attributes — the batch format used in labelling prompts.
+    pub fn serialize_row(&self, row: usize) -> String {
+        let mut parts = vec![format!(
+            "{}: {}",
+            self.column_name(),
+            self.table.cell(row, self.column)
+        )];
+        for &q in self.correlated {
+            parts.push(format!(
+                "{}: {}",
+                self.table.columns()[q],
+                self.table.cell(row, q)
+            ));
+        }
+        parts.join(" | ")
+    }
+}
+
+/// The outcome of executing the LLM-written distribution-analysis functions
+/// over the full dataset (paper Fig. 5, step 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistributionAnalysis {
+    /// Attribute the analysis describes.
+    pub column: String,
+    /// Total number of records analysed.
+    pub total_records: usize,
+    /// Number of distinct values.
+    pub distinct_values: usize,
+    /// Fraction of missing values.
+    pub missing_ratio: f64,
+    /// Most frequent values with their counts.
+    pub frequent_values: Vec<(String, usize)>,
+    /// Rare values (candidates for outliers/typos).
+    pub rare_values: Vec<String>,
+    /// Most frequent generalised formats with their counts.
+    pub frequent_patterns: Vec<(String, usize)>,
+    /// `(min, mean, max)` for numeric attributes.
+    pub numeric_summary: Option<(f64, f64, f64)>,
+    /// Free-text findings, one line per analysis perspective.
+    pub findings: Vec<String>,
+}
+
+/// Guidance for detecting one error type on one attribute.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorTypeGuide {
+    /// Which error type this entry covers.
+    pub error_type: ErrorType,
+    /// Concrete example values that would be erroneous.
+    pub examples: Vec<String>,
+    /// Likely causes.
+    pub causes: String,
+    /// How to detect this error type on this attribute.
+    pub detection: String,
+}
+
+/// The attribute-specific error-detection guideline produced by the two-step
+/// reasoning process (paper §III-C).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Guideline {
+    /// Attribute the guideline applies to.
+    pub column: String,
+    /// Natural-language explanation of the attribute's meaning.
+    pub explanation: String,
+    /// Per-error-type guidance.
+    pub error_types: Vec<ErrorTypeGuide>,
+}
+
+impl Guideline {
+    /// Renders the guideline as the text block inserted into labelling
+    /// prompts.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Attribute '{}': {}\n\nError types and analysis:\n",
+            self.column, self.explanation
+        );
+        for (i, guide) in self.error_types.iter().enumerate() {
+            out.push_str(&format!(
+                "{}. {}\n   - examples: {}\n   - causes: {}\n   - detection: {}\n",
+                i + 1,
+                guide.error_type,
+                guide.examples.join(", "),
+                guide.causes,
+                guide.detection
+            ));
+        }
+        out
+    }
+}
+
+/// The interface between ZeroED and a large language model.
+///
+/// Every method corresponds to one prompt family in the paper. Implementations
+/// must be deterministic for a fixed seed so that experiments are
+/// reproducible, and must account for their token usage in [`LlmClient::ledger`].
+pub trait LlmClient: Send + Sync {
+    /// Model name (e.g. `Qwen2.5-72b`).
+    fn name(&self) -> &str;
+
+    /// The shared token ledger for this client.
+    fn ledger(&self) -> &TokenLedger;
+
+    /// Reasons about error causes for an attribute and emits executable
+    /// error-checking criteria (paper §III-B, Fig. 4).
+    fn generate_criteria(&self, ctx: &AttributeContext<'_>) -> CriteriaSet;
+
+    /// Writes and "executes" data-distribution analysis functions for an
+    /// attribute, returning the aggregated analysis (paper Fig. 5, step 1).
+    fn analyze_distribution(&self, ctx: &AttributeContext<'_>) -> DistributionAnalysis;
+
+    /// Generates the attribute-specific error-detection guideline from the
+    /// distribution analysis and representative samples (paper Fig. 5, step 2).
+    fn generate_guideline(
+        &self,
+        ctx: &AttributeContext<'_>,
+        analysis: &DistributionAnalysis,
+    ) -> Guideline;
+
+    /// Labels a batch of sampled cells in context; `true` marks an error.
+    /// `guideline` is `None` in the "w/o Guid." ablation.
+    fn label_batch(
+        &self,
+        ctx: &AttributeContext<'_>,
+        guideline: Option<&Guideline>,
+        rows: &[usize],
+    ) -> Vec<bool>;
+
+    /// Refines an attribute's criteria through contrastive in-context
+    /// learning, given examples of values labelled clean and erroneous
+    /// (Algorithm 1 lines 4–7).
+    fn refine_criteria(
+        &self,
+        ctx: &AttributeContext<'_>,
+        clean_examples: &[String],
+        error_examples: &[String],
+        existing: &CriteriaSet,
+    ) -> CriteriaSet;
+
+    /// Generates additional realistic error values for an attribute, based on
+    /// verified clean examples (Algorithm 1 line 25).
+    fn augment_errors(
+        &self,
+        ctx: &AttributeContext<'_>,
+        clean_examples: &[String],
+        count: usize,
+    ) -> Vec<String>;
+
+    /// FM_ED-style per-tuple detection: answers "is there an error in this
+    /// tuple?" for every attribute of one tuple, without any dataset-level
+    /// context. Returns one flag per column (`true` = error).
+    fn detect_tuple(&self, table: &Table, row: usize) -> Vec<bool>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_serialization_includes_correlated_attributes() {
+        let table = Table::new(
+            "t",
+            vec!["name".into(), "gender".into(), "salary".into()],
+            vec![vec!["Bob".into(), "M".into(), "80000".into()]],
+        )
+        .unwrap();
+        let corr = vec![1usize];
+        let ctx = AttributeContext {
+            table: &table,
+            column: 0,
+            correlated: &corr,
+            sample_rows: &[0],
+        };
+        assert_eq!(ctx.column_name(), "name");
+        assert_eq!(ctx.serialize_row(0), "name: Bob | gender: M");
+    }
+
+    #[test]
+    fn guideline_rendering_mentions_every_error_type() {
+        let g = Guideline {
+            column: "zip".into(),
+            explanation: "US postal code".into(),
+            error_types: vec![
+                ErrorTypeGuide {
+                    error_type: ErrorType::MissingValue,
+                    examples: vec!["".into(), "N/A".into()],
+                    causes: "form left blank".into(),
+                    detection: "flag empty or placeholder values".into(),
+                },
+                ErrorTypeGuide {
+                    error_type: ErrorType::PatternViolation,
+                    examples: vec!["9021".into()],
+                    causes: "truncated on import".into(),
+                    detection: "values must be exactly five digits".into(),
+                },
+            ],
+        };
+        let text = g.render();
+        assert!(text.contains("missing value"));
+        assert!(text.contains("pattern violation"));
+        assert!(text.contains("five digits"));
+    }
+}

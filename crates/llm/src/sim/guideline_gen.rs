@@ -1,0 +1,195 @@
+//! Distribution analysis and guideline generation for the simulated LLM
+//! (paper §III-C, Fig. 5).
+
+use super::profiling::ColumnProfile;
+use crate::client::{DistributionAnalysis, ErrorTypeGuide, Guideline};
+use zeroed_table::ErrorType;
+
+/// Produces the distribution analysis that "executing the LLM-written analysis
+/// functions over the whole dataset" yields.
+pub fn build_analysis(profile: &ColumnProfile) -> DistributionAnalysis {
+    let mut findings = Vec::new();
+    findings.push(format!(
+        "The attribute has {} distinct values over {} records.",
+        profile.distinct(),
+        profile.total
+    ));
+    if profile.missing_ratio > 0.0 {
+        findings.push(format!(
+            "{:.2}% of the values are missing or null placeholders.",
+            profile.missing_ratio * 100.0
+        ));
+    }
+    if profile.is_numeric() {
+        if let Some((lo, hi)) = profile.numeric_bounds {
+            findings.push(format!(
+                "Values are numeric; the bulk of the distribution lies within [{lo:.2}, {hi:.2}]."
+            ));
+        }
+    } else if profile.is_categorical() {
+        findings.push(
+            "The attribute is categorical; values outside the frequent categories are suspicious."
+                .to_string(),
+        );
+    } else {
+        findings.push(
+            "The attribute is free text; formats are more informative than exact values."
+                .to_string(),
+        );
+    }
+    if profile.fd_mapping.is_some() {
+        findings.push(
+            "The attribute is strongly determined by a correlated attribute; inconsistent pairs indicate rule violations."
+                .to_string(),
+        );
+    }
+    DistributionAnalysis {
+        column: profile.name.clone(),
+        total_records: profile.total,
+        distinct_values: profile.distinct(),
+        missing_ratio: profile.missing_ratio,
+        frequent_values: profile.top_values(5),
+        rare_values: profile.rare_values(5),
+        frequent_patterns: profile.top_patterns(3),
+        numeric_summary: profile.numeric_summary,
+        findings,
+    }
+}
+
+/// Produces the attribute-specific error-detection guideline from the profile
+/// and its distribution analysis.
+pub fn build_guideline(profile: &ColumnProfile, analysis: &DistributionAnalysis) -> Guideline {
+    let name = &profile.name;
+    let explanation = if profile.is_numeric() {
+        format!("'{name}' is a numeric attribute; typical values lie in a bounded range.")
+    } else if profile.is_categorical() {
+        format!(
+            "'{name}' is a categorical attribute with {} frequent categories.",
+            analysis.frequent_values.len()
+        )
+    } else {
+        format!("'{name}' is a textual attribute whose values follow a small set of formats.")
+    };
+
+    let dominant_format = analysis
+        .frequent_patterns
+        .first()
+        .map(|(p, _)| p.clone())
+        .unwrap_or_else(|| "the dominant format".to_string());
+    let frequent_example = analysis
+        .frequent_values
+        .first()
+        .map(|(v, _)| v.clone())
+        .unwrap_or_default();
+
+    let error_types = vec![
+        ErrorTypeGuide {
+            error_type: ErrorType::MissingValue,
+            examples: vec!["".into(), "NULL".into(), "N/A".into()],
+            causes: "fields left blank at entry time or lost during integration".into(),
+            detection: "flag empty strings and common null placeholders".into(),
+        },
+        ErrorTypeGuide {
+            error_type: ErrorType::Typo,
+            examples: profile.rare_values(3),
+            causes: "manual entry mistakes producing rare, near-duplicate strings".into(),
+            detection: format!(
+                "flag rare values that are close (small edit distance) to frequent values such as '{frequent_example}'"
+            ),
+        },
+        ErrorTypeGuide {
+            error_type: ErrorType::PatternViolation,
+            examples: vec![format!("values not matching {dominant_format}")],
+            causes: "format drift between sources (different date/time/identifier conventions)".into(),
+            detection: format!("flag values whose character format differs from {dominant_format}"),
+        },
+        ErrorTypeGuide {
+            error_type: ErrorType::Outlier,
+            examples: profile
+                .numeric_summary
+                .map(|(min, _, max)| vec![format!("{}", max * 100.0), format!("{}", min - 1.0)])
+                .unwrap_or_else(|| vec!["values far outside the usual domain".into()]),
+            causes: "unit mistakes, sensor faults or corrupted numeric entries".into(),
+            detection: profile
+                .numeric_bounds
+                .map(|(lo, hi)| format!("flag numeric values outside [{lo:.2}, {hi:.2}]"))
+                .unwrap_or_else(|| "flag values with frequency below 1% that do not fit the domain".into()),
+        },
+        ErrorTypeGuide {
+            error_type: ErrorType::RuleViolation,
+            examples: vec![format!("a '{name}' value inconsistent with its correlated attribute")],
+            causes: "updates applied to one attribute but not its dependent attributes".into(),
+            detection: if profile.fd_mapping.is_some() {
+                "compare the value against the usual value for the same correlated attribute value"
+                    .into()
+            } else {
+                "cross-check the value against related attributes in the same tuple".into()
+            },
+        },
+    ];
+
+    Guideline {
+        column: name.clone(),
+        explanation,
+        error_types,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeroed_table::Table;
+
+    fn profile() -> ColumnProfile {
+        let rows: Vec<Vec<String>> = (0..100)
+            .map(|i| {
+                vec![
+                    format!("{}", 40_000 + (i % 9) * 1_000),
+                    ["Boston", "Denver"][i % 2].to_string(),
+                ]
+            })
+            .collect();
+        let t = Table::new("t", vec!["salary".into(), "city".into()], rows).unwrap();
+        ColumnProfile::analyze(&t, 0, &[1])
+    }
+
+    #[test]
+    fn analysis_summarises_column() {
+        let p = profile();
+        let a = build_analysis(&p);
+        assert_eq!(a.column, "salary");
+        assert_eq!(a.total_records, 100);
+        assert_eq!(a.distinct_values, 9);
+        assert!(a.numeric_summary.is_some());
+        assert!(!a.findings.is_empty());
+        assert!(!a.frequent_values.is_empty());
+    }
+
+    #[test]
+    fn guideline_covers_all_five_error_types() {
+        let p = profile();
+        let a = build_analysis(&p);
+        let g = build_guideline(&p, &a);
+        assert_eq!(g.error_types.len(), 5);
+        let types: Vec<ErrorType> = g.error_types.iter().map(|e| e.error_type).collect();
+        for ty in ErrorType::ALL {
+            assert!(types.contains(&ty), "missing {ty}");
+        }
+        let text = g.render();
+        assert!(text.contains("salary"));
+        assert!(text.contains("detection"));
+    }
+
+    #[test]
+    fn numeric_guideline_mentions_bounds() {
+        let p = profile();
+        let a = build_analysis(&p);
+        let g = build_guideline(&p, &a);
+        let outlier = g
+            .error_types
+            .iter()
+            .find(|e| e.error_type == ErrorType::Outlier)
+            .unwrap();
+        assert!(outlier.detection.contains("flag numeric values outside"));
+    }
+}

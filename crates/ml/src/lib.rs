@@ -1,0 +1,22 @@
+//! # zeroed-ml
+//!
+//! Minimal machine-learning substrate for ZeroED.
+//!
+//! The paper's detector is deliberately simple: a two-layer multilayer
+//! perceptron with ReLU activations trained with the binary cross-entropy
+//! loss (paper §III-D). This crate implements that model from scratch —
+//! dense layers, Adam optimiser, mini-batch training — plus a logistic
+//! regression used by the ActiveClean baseline and a feature standardiser.
+//!
+//! All models consume rows as `&[&[f32]]`, matching the `FeatureMatrix`
+//! produced by `zeroed-features` without copying.
+
+pub mod logreg;
+pub mod metrics;
+pub mod mlp;
+pub mod scale;
+
+pub use logreg::{LogisticRegression, LogisticRegressionConfig};
+pub use metrics::{accuracy, binary_confusion};
+pub use mlp::{Mlp, MlpConfig};
+pub use scale::StandardScaler;

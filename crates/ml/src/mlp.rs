@@ -1,0 +1,350 @@
+//! A two-layer multilayer perceptron for binary cell classification.
+//!
+//! Architecture (paper §III-D): `input → hidden (ReLU) → 1 (sigmoid)`, trained
+//! with the binary cross-entropy loss and the Adam optimiser on mini-batches.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// MLP hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// PRNG seed for initialisation and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 64,
+            epochs: 30,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            weight_decay: 1e-5,
+            seed: 42,
+        }
+    }
+}
+
+/// Dense parameter matrix with Adam state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Param {
+    value: Vec<f32>,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl Param {
+    fn new(len: usize) -> Self {
+        Self {
+            value: vec![0.0; len],
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+        }
+    }
+
+    fn adam_step(&mut self, grad: &[f32], lr: f32, t: usize, weight_decay: f32) {
+        const B1: f32 = 0.9;
+        const B2: f32 = 0.999;
+        const EPS: f32 = 1e-8;
+        let t = t as i32;
+        for i in 0..self.value.len() {
+            let g = grad[i] + weight_decay * self.value[i];
+            self.m[i] = B1 * self.m[i] + (1.0 - B1) * g;
+            self.v[i] = B2 * self.v[i] + (1.0 - B2) * g * g;
+            let m_hat = self.m[i] / (1.0 - B1.powi(t));
+            let v_hat = self.v[i] / (1.0 - B2.powi(t));
+            self.value[i] -= lr * m_hat / (v_hat.sqrt() + EPS);
+        }
+    }
+}
+
+/// A trained two-layer MLP.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    input_dim: usize,
+    hidden: usize,
+    w1: Param,
+    b1: Param,
+    w2: Param,
+    b2: Param,
+    steps: usize,
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Mlp {
+    /// Creates an untrained MLP with Xavier-style initialisation.
+    pub fn new(input_dim: usize, config: &MlpConfig) -> Self {
+        let hidden = config.hidden.max(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let scale1 = (2.0 / (input_dim.max(1) + hidden) as f32).sqrt();
+        let scale2 = (2.0 / (hidden + 1) as f32).sqrt();
+        let mut w1 = Param::new(input_dim * hidden);
+        for w in w1.value.iter_mut() {
+            *w = (rng.gen::<f32>() * 2.0 - 1.0) * scale1;
+        }
+        let mut w2 = Param::new(hidden);
+        for w in w2.value.iter_mut() {
+            *w = (rng.gen::<f32>() * 2.0 - 1.0) * scale2;
+        }
+        Self {
+            input_dim,
+            hidden,
+            w1,
+            b1: Param::new(hidden),
+            w2,
+            b2: Param::new(1),
+            steps: 0,
+        }
+    }
+
+    /// Input dimensionality the network expects.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Forward pass returning `(hidden_activations, probability)`.
+    fn forward(&self, x: &[f32]) -> (Vec<f32>, f32) {
+        debug_assert_eq!(x.len(), self.input_dim);
+        let mut h = vec![0.0f32; self.hidden];
+        for j in 0..self.hidden {
+            let mut acc = self.b1.value[j];
+            let weights = &self.w1.value[j * self.input_dim..(j + 1) * self.input_dim];
+            for (w, &xi) in weights.iter().zip(x.iter()) {
+                acc += w * xi;
+            }
+            h[j] = acc.max(0.0);
+        }
+        let mut out = self.b2.value[0];
+        for (w, &hj) in self.w2.value.iter().zip(h.iter()) {
+            out += w * hj;
+        }
+        (h, sigmoid(out))
+    }
+
+    /// Predicted probability that the row is an error (positive class).
+    pub fn predict_proba(&self, x: &[f32]) -> f32 {
+        self.forward(x).1
+    }
+
+    /// Hard prediction at the 0.5 threshold.
+    pub fn predict(&self, x: &[f32]) -> bool {
+        self.predict_proba(x) >= 0.5
+    }
+
+    /// Trains the network on `(rows, labels)` (labels in `{0.0, 1.0}`) and
+    /// returns the mean training loss of the final epoch.
+    ///
+    /// Rows must all have the configured input dimension; label and row counts
+    /// must match. An empty training set leaves the network untouched and
+    /// returns 0.
+    pub fn train(&mut self, rows: &[&[f32]], labels: &[f32], config: &MlpConfig) -> f32 {
+        assert_eq!(rows.len(), labels.len(), "rows and labels must align");
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let n = rows.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(1));
+        let batch = config.batch_size.max(1);
+        let mut last_epoch_loss = 0.0f32;
+
+        // Gradient buffers reused across batches.
+        let mut gw1 = vec![0.0f32; self.w1.value.len()];
+        let mut gb1 = vec![0.0f32; self.b1.value.len()];
+        let mut gw2 = vec![0.0f32; self.w2.value.len()];
+        let mut gb2 = vec![0.0f32; 1];
+
+        for _epoch in 0..config.epochs {
+            // Fisher-Yates shuffle.
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut epoch_loss = 0.0f32;
+            for chunk in order.chunks(batch) {
+                gw1.iter_mut().for_each(|g| *g = 0.0);
+                gb1.iter_mut().for_each(|g| *g = 0.0);
+                gw2.iter_mut().for_each(|g| *g = 0.0);
+                gb2[0] = 0.0;
+                for &idx in chunk {
+                    let x = rows[idx];
+                    let y = labels[idx];
+                    let (h, p) = self.forward(x);
+                    let p_clamped = p.clamp(1e-7, 1.0 - 1e-7);
+                    epoch_loss +=
+                        -(y * p_clamped.ln() + (1.0 - y) * (1.0 - p_clamped).ln());
+                    // dL/dlogit = p - y
+                    let dlogit = p - y;
+                    gb2[0] += dlogit;
+                    for j in 0..self.hidden {
+                        gw2[j] += dlogit * h[j];
+                    }
+                    for j in 0..self.hidden {
+                        if h[j] <= 0.0 {
+                            continue;
+                        }
+                        let dh = dlogit * self.w2.value[j];
+                        gb1[j] += dh;
+                        let grad_row = &mut gw1[j * self.input_dim..(j + 1) * self.input_dim];
+                        for (g, &xi) in grad_row.iter_mut().zip(x.iter()) {
+                            *g += dh * xi;
+                        }
+                    }
+                }
+                let scale = 1.0 / chunk.len() as f32;
+                gw1.iter_mut().for_each(|g| *g *= scale);
+                gb1.iter_mut().for_each(|g| *g *= scale);
+                gw2.iter_mut().for_each(|g| *g *= scale);
+                gb2[0] *= scale;
+                self.steps += 1;
+                let t = self.steps;
+                self.w1
+                    .adam_step(&gw1, config.learning_rate, t, config.weight_decay);
+                self.b1.adam_step(&gb1, config.learning_rate, t, 0.0);
+                self.w2
+                    .adam_step(&gw2, config.learning_rate, t, config.weight_decay);
+                self.b2.adam_step(&gb2, config.learning_rate, t, 0.0);
+            }
+            last_epoch_loss = epoch_loss / n as f32;
+        }
+        last_epoch_loss
+    }
+
+    /// Convenience: constructs and trains an MLP in one call.
+    pub fn fit(rows: &[&[f32]], labels: &[f32], config: &MlpConfig) -> Mlp {
+        let input_dim = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut mlp = Mlp::new(input_dim, config);
+        mlp.train(rows, labels, config);
+        mlp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<f32>>, Vec<f32>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _rep in 0..50 {
+            for (a, b) in [(0.0f32, 0.0f32), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+                rows.push(vec![a, b]);
+                labels.push(if (a > 0.5) != (b > 0.5) { 1.0 } else { 0.0 });
+            }
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (rows, labels) = xor_data();
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let config = MlpConfig {
+            hidden: 16,
+            epochs: 200,
+            batch_size: 16,
+            learning_rate: 5e-3,
+            ..Default::default()
+        };
+        let mlp = Mlp::fit(&refs, &labels, &config);
+        for (row, &y) in rows.iter().zip(labels.iter()) {
+            assert_eq!(mlp.predict(row), y > 0.5, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn learns_linearly_separable_data() {
+        let rows: Vec<Vec<f32>> = (0..200)
+            .map(|i| vec![(i % 20) as f32 / 20.0, ((i * 7) % 13) as f32 / 13.0])
+            .collect();
+        let labels: Vec<f32> = rows
+            .iter()
+            .map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mlp = Mlp::fit(
+            &refs,
+            &labels,
+            &MlpConfig {
+                epochs: 120,
+                ..Default::default()
+            },
+        );
+        let correct = rows
+            .iter()
+            .zip(labels.iter())
+            .filter(|(r, &y)| mlp.predict(r) == (y > 0.5))
+            .count();
+        assert!(correct >= 185, "only {correct}/200 correct");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        // Single example; compare analytic dL/dw2[j] against finite differences.
+        let config = MlpConfig {
+            hidden: 4,
+            seed: 3,
+            ..Default::default()
+        };
+        let x = vec![0.3f32, -0.7, 0.9];
+        let y = 1.0f32;
+        let mlp = Mlp::new(3, &config);
+        let loss_of = |m: &Mlp| {
+            let p = m.predict_proba(&x).clamp(1e-7, 1.0 - 1e-7);
+            -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+        };
+        // Analytic gradient for w2.
+        let (h, p) = mlp.forward(&x);
+        let dlogit = p - y;
+        for j in 0..4 {
+            let analytic = dlogit * h[j];
+            let mut plus = mlp.clone();
+            plus.w2.value[j] += 1e-3;
+            let mut minus = mlp.clone();
+            minus.w2.value[j] -= 1e-3;
+            let numeric = (loss_of(&plus) - loss_of(&minus)) / 2e-3;
+            assert!(
+                (analytic - numeric).abs() < 1e-2,
+                "w2[{j}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_are_bounded() {
+        let mlp = Mlp::new(5, &MlpConfig::default());
+        let p = mlp.predict_proba(&[1.0, -2.0, 3.0, 0.0, 10.0]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn empty_training_is_a_noop() {
+        let mut mlp = Mlp::new(2, &MlpConfig::default());
+        let loss = mlp.train(&[], &[], &MlpConfig::default());
+        assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows and labels must align")]
+    fn mismatched_labels_panic() {
+        let mut mlp = Mlp::new(1, &MlpConfig::default());
+        let rows = [vec![1.0f32]];
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let _ = mlp.train(&refs, &[], &MlpConfig::default());
+    }
+}

@@ -1,0 +1,106 @@
+//! Per-feature standardisation (zero mean, unit variance).
+
+/// A fitted standard scaler: stores per-dimension mean and standard deviation
+/// and applies `(x - mean) / std` to new rows. Dimensions with (near-)zero
+/// variance are passed through unchanged.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler on training rows. Panics if `rows` is empty or ragged.
+    pub fn fit(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler on zero rows");
+        let dim = rows[0].len();
+        let n = rows.len() as f64;
+        let mut means = vec![0.0f64; dim];
+        for row in rows {
+            assert_eq!(row.len(), dim, "ragged feature rows");
+            for (m, &x) in means.iter_mut().zip(row.iter()) {
+                *m += x as f64;
+            }
+        }
+        for m in means.iter_mut() {
+            *m /= n;
+        }
+        let mut vars = vec![0.0f64; dim];
+        for row in rows {
+            for ((v, &x), m) in vars.iter_mut().zip(row.iter()).zip(means.iter()) {
+                let d = x as f64 - m;
+                *v += d * d;
+            }
+        }
+        let stds: Vec<f32> = vars
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt();
+                if s < 1e-8 {
+                    1.0
+                } else {
+                    s as f32
+                }
+            })
+            .collect();
+        Self {
+            means: means.into_iter().map(|m| m as f32).collect(),
+            stds,
+        }
+    }
+
+    /// Number of feature dimensions.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardises one row into a new vector.
+    pub fn transform(&self, row: &[f32]) -> Vec<f32> {
+        row.iter()
+            .zip(self.means.iter())
+            .zip(self.stds.iter())
+            .map(|((&x, &m), &s)| (x - m) / s)
+            .collect()
+    }
+
+    /// Standardises a batch of rows.
+    pub fn transform_all(&self, rows: &[&[f32]]) -> Vec<Vec<f32>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardises_to_zero_mean_unit_variance() {
+        let data = vec![vec![1.0f32, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+        let rows: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let scaler = StandardScaler::fit(&rows);
+        let transformed = scaler.transform_all(&rows);
+        for d in 0..2 {
+            let mean: f32 = transformed.iter().map(|r| r[d]).sum::<f32>() / 3.0;
+            let var: f32 = transformed.iter().map(|r| r[d] * r[d]).sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-4);
+        }
+        assert_eq!(scaler.dim(), 2);
+    }
+
+    #[test]
+    fn constant_dimension_is_left_alone() {
+        let data = vec![vec![5.0f32, 1.0], vec![5.0, 2.0]];
+        let rows: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let scaler = StandardScaler::fit(&rows);
+        let t = scaler.transform(&[5.0, 1.5]);
+        assert_eq!(t[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn empty_fit_panics() {
+        let rows: Vec<&[f32]> = Vec::new();
+        let _ = StandardScaler::fit(&rows);
+    }
+}

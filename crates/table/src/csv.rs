@@ -1,0 +1,221 @@
+//! Minimal RFC-4180-style CSV reading and writing.
+//!
+//! The workspace deliberately avoids an external CSV dependency; the benchmark
+//! datasets are generated in-process and only occasionally round-tripped
+//! through files, so a small, well-tested parser is sufficient. Quoted fields,
+//! embedded commas, embedded quotes (`""`) and embedded newlines are supported.
+
+use crate::table::Table;
+use crate::{Result, TableError};
+use std::fs;
+use std::path::Path;
+
+/// Parses CSV text into a [`Table`]. The first record is the header.
+pub fn parse_csv(name: &str, text: &str) -> Result<Table> {
+    let records = parse_records(text)?;
+    let mut iter = records.into_iter();
+    let header = iter.next().ok_or(TableError::EmptyInput)?;
+    let ncols = header.len();
+    let mut rows = Vec::new();
+    for (i, rec) in iter.enumerate() {
+        // A completely empty trailing record (e.g. trailing newline) is skipped.
+        if rec.len() == 1 && rec[0].is_empty() {
+            continue;
+        }
+        if rec.len() != ncols {
+            return Err(TableError::RowArity {
+                row: i,
+                found: rec.len(),
+                expected: ncols,
+            });
+        }
+        rows.push(rec);
+    }
+    Table::new(name, header, rows)
+}
+
+/// Reads a CSV file into a [`Table`], deriving the table name from the file
+/// stem.
+pub fn read_csv_file(path: impl AsRef<Path>) -> Result<Table> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| "table".to_string());
+    let text = fs::read_to_string(path).map_err(|e| TableError::ShapeMismatch(e.to_string()))?;
+    parse_csv(&name, &text)
+}
+
+/// Serialises a [`Table`] to CSV text (header + rows). Fields containing
+/// commas, quotes or newlines are quoted.
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    write_record(&mut out, table.columns().iter().map(|s| s.as_str()));
+    for row in table.rows() {
+        write_record(&mut out, row.iter().map(|s| s.as_str()));
+    }
+    out
+}
+
+/// Writes a [`Table`] to a CSV file.
+pub fn write_csv_file(table: &Table, path: impl AsRef<Path>) -> Result<()> {
+    fs::write(path, to_csv(table)).map_err(|e| TableError::ShapeMismatch(e.to_string()))
+}
+
+fn write_record<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
+    let mut first = true;
+    for field in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r')
+        {
+            out.push('"');
+            for ch in field.chars() {
+                if ch == '"' {
+                    out.push('"');
+                }
+                out.push(ch);
+            }
+            out.push('"');
+        } else {
+            out.push_str(field);
+        }
+    }
+    out.push('\n');
+}
+
+/// Low-level record parser: splits CSV text into records of fields.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut record_idx = 0usize;
+
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(ch),
+            }
+        } else {
+            match ch {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    // Swallow \r in \r\n; a lone \r also terminates the record.
+                    if chars.peek() == Some(&'\n') {
+                        continue;
+                    }
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    record_idx += 1;
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    record_idx += 1;
+                }
+                _ => field.push(ch),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::UnterminatedQuote { row: record_idx });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if records.is_empty() {
+        return Err(TableError::EmptyInput);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_csv() {
+        let t = parse_csv("t", "a,b,c\n1,2,3\n4,5,6\n").unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.cell(1, 2), "6");
+    }
+
+    #[test]
+    fn parses_quoted_fields() {
+        let t = parse_csv("t", "a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(t.cell(0, 0), "hello, world");
+        assert_eq!(t.cell(0, 1), "say \"hi\"");
+    }
+
+    #[test]
+    fn parses_embedded_newline() {
+        let t = parse_csv("t", "a,b\n\"line1\nline2\",x\n").unwrap();
+        assert_eq!(t.cell(0, 0), "line1\nline2");
+    }
+
+    #[test]
+    fn handles_crlf_and_missing_trailing_newline() {
+        let t = parse_csv("t", "a,b\r\n1,2\r\n3,4").unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.cell(1, 1), "4");
+    }
+
+    #[test]
+    fn rejects_bad_arity_and_empty() {
+        assert!(matches!(
+            parse_csv("t", "a,b\n1\n"),
+            Err(TableError::RowArity { .. })
+        ));
+        assert!(matches!(parse_csv("t", ""), Err(TableError::EmptyInput)));
+        assert!(matches!(
+            parse_csv("t", "a,b\n\"unterminated\n"),
+            Err(TableError::UnterminatedQuote { .. })
+        ));
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = Table::new(
+            "rt",
+            vec!["name".into(), "note".into()],
+            vec![
+                vec!["alice".into(), "likes, commas".into()],
+                vec!["bob \"the builder\"".into(), "multi\nline".into()],
+                vec!["".into(), "".into()],
+            ],
+        )
+        .unwrap();
+        let text = to_csv(&t);
+        let back = parse_csv("rt", &text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = parse_csv("t", "a,b\n1,2\n").unwrap();
+        let dir = std::env::temp_dir().join("zeroed_table_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv_file(&t, &path).unwrap();
+        let back = read_csv_file(&path).unwrap();
+        assert_eq!(back.n_rows(), 1);
+        assert_eq!(back.name(), "t");
+    }
+}

@@ -1,0 +1,97 @@
+//! # zeroed-table
+//!
+//! Tabular-data substrate for the ZeroED error-detection framework.
+//!
+//! This crate provides the data model every other crate in the workspace builds
+//! on:
+//!
+//! * [`Table`] — an in-memory, string-typed relational table with named columns,
+//!   the representation used by the ZeroED paper (all cell values are treated as
+//!   strings; empty strings denote missing values).
+//! * [`Schema`] / [`ColumnMeta`] — lightweight per-column metadata with inferred
+//!   [`ColumnType`]s (numeric, categorical, text, ...).
+//! * CSV reading and writing ([`csv`]) without external dependencies.
+//! * [`ErrorMask`] — a per-cell boolean matrix marking erroneous cells, produced
+//!   by diffing a dirty table against its ground-truth clean version, which is
+//!   exactly the error definition used in the paper (Section II).
+//! * Detection metrics ([`metrics`]): precision, recall and F1 over cell-level
+//!   predictions.
+//! * [`errors`] — the five error types of the paper (missing values, typos,
+//!   pattern violations, outliers, rule violations) and a heuristic classifier
+//!   matching the paper's Table II categorisation rules.
+//!
+//! The crate is deliberately dependency-light and panic-free on user input: all
+//! fallible operations return [`TableError`].
+
+pub mod csv;
+pub mod errors;
+pub mod mask;
+pub mod metrics;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use errors::{classify_error, ErrorType};
+pub use mask::ErrorMask;
+pub use metrics::DetectionReport;
+pub use schema::{ColumnMeta, ColumnType, Schema};
+pub use table::{CellRef, Table};
+
+use std::fmt;
+
+/// Errors produced by table construction, CSV parsing and cell addressing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A row had a different number of fields than the header.
+    RowArity {
+        /// Zero-based row index in the input.
+        row: usize,
+        /// Number of fields found.
+        found: usize,
+        /// Number of fields expected (header width).
+        expected: usize,
+    },
+    /// The CSV input was empty (no header row).
+    EmptyInput,
+    /// A quoted CSV field was never terminated.
+    UnterminatedQuote {
+        /// Line (record) index where the quote started.
+        row: usize,
+    },
+    /// Cell or column index out of bounds.
+    OutOfBounds {
+        /// Human readable description of the access.
+        what: String,
+    },
+    /// A named column does not exist.
+    NoSuchColumn(String),
+    /// Two tables that must be congruent (same shape and columns) are not.
+    ShapeMismatch(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::RowArity {
+                row,
+                found,
+                expected,
+            } => write!(
+                f,
+                "row {row} has {found} fields but the header has {expected}"
+            ),
+            TableError::EmptyInput => write!(f, "input contains no header row"),
+            TableError::UnterminatedQuote { row } => {
+                write!(f, "unterminated quoted field starting in record {row}")
+            }
+            TableError::OutOfBounds { what } => write!(f, "out of bounds access: {what}"),
+            TableError::NoSuchColumn(name) => write!(f, "no such column: {name}"),
+            TableError::ShapeMismatch(msg) => write!(f, "table shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TableError>;

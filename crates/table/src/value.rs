@@ -1,0 +1,157 @@
+//! Cell-value helpers.
+//!
+//! In ZeroED every cell is a string; this module centralises the small amount
+//! of interpretation the framework does on those strings: missing-value
+//! detection, numeric parsing, tokenisation and edit distance (used by the
+//! error-type classifier and the typo-oriented features).
+
+/// Placeholder strings that are treated as *missing values* in addition to the
+/// empty string. These mirror the implicit placeholders discussed in the paper
+/// ("explicit and implicit placeholders", Section IV-A).
+pub const MISSING_PLACEHOLDERS: &[&str] = &[
+    "", "null", "nan", "n/a", "na", "none", "-", "?", "missing", "unknown", "empty",
+];
+
+/// Returns `true` when the value should be treated as a missing value.
+///
+/// Matching is case-insensitive and ignores surrounding whitespace.
+///
+/// ```
+/// use zeroed_table::value::is_missing;
+/// assert!(is_missing(""));
+/// assert!(is_missing("  NULL "));
+/// assert!(is_missing("n/a"));
+/// assert!(!is_missing("0"));
+/// assert!(!is_missing("Nadia"));
+/// ```
+pub fn is_missing(value: &str) -> bool {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        return true;
+    }
+    let lower = trimmed.to_ascii_lowercase();
+    MISSING_PLACEHOLDERS.contains(&lower.as_str())
+}
+
+/// Attempts to parse a cell value as a floating-point number.
+///
+/// Thousands separators (`,`) and leading currency symbols (`$`, `€`) are
+/// stripped first so values such as `"$1,200.50"` parse as `1200.5`.
+pub fn parse_numeric(value: &str) -> Option<f64> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    let cleaned: String = trimmed
+        .chars()
+        .filter(|c| *c != ',' && *c != '$' && *c != '€' && *c != '%')
+        .collect();
+    if cleaned.is_empty() {
+        return None;
+    }
+    cleaned.parse::<f64>().ok()
+}
+
+/// Splits a value into lowercase alphanumeric tokens.
+///
+/// This is the tokenisation used before embedding cell values (paper §III-B,
+/// `f_sem`): non-alphanumeric characters act as separators and single-character
+/// stop tokens are kept (they still carry signal for codes like `M`/`F`).
+pub fn tokenize(value: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in value.chars() {
+        if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Levenshtein edit distance between two strings (operating on Unicode scalar
+/// values). Used by [`crate::errors::classify_error`] to mirror the paper's
+/// typo definition ("errors within edit distance ≤ 3 from clean data").
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr: Vec<usize> = vec![0; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Normalises a value for comparison: trims whitespace and lowercases.
+///
+/// Ground-truth diffing ([`crate::mask::ErrorMask::diff`]) compares raw strings
+/// (the paper treats any literal difference as an error); this helper is used
+/// by baselines and generators that need a looser notion of equality.
+pub fn normalize(value: &str) -> String {
+    value.trim().to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_detects_placeholders_and_blank() {
+        for v in ["", "   ", "NULL", "NaN", "n/a", "-", "?", "None", "UNKNOWN"] {
+            assert!(is_missing(v), "{v:?} should be missing");
+        }
+        for v in ["0", "false", "abc", "  x  ", "N/A extra"] {
+            assert!(!is_missing(v), "{v:?} should not be missing");
+        }
+    }
+
+    #[test]
+    fn numeric_parsing_handles_separators() {
+        assert_eq!(parse_numeric("42"), Some(42.0));
+        assert_eq!(parse_numeric(" -3.5 "), Some(-3.5));
+        assert_eq!(parse_numeric("$1,200.50"), Some(1200.50));
+        assert_eq!(parse_numeric("12%"), Some(12.0));
+        assert_eq!(parse_numeric("abc"), None);
+        assert_eq!(parse_numeric(""), None);
+        assert_eq!(parse_numeric("12a"), None);
+    }
+
+    #[test]
+    fn tokenize_splits_on_non_alphanumeric() {
+        assert_eq!(tokenize("Bob Johnson"), vec!["bob", "johnson"]);
+        assert_eq!(tokenize("a-b_c"), vec!["a", "b", "c"]);
+        assert_eq!(tokenize("  "), Vec::<String>::new());
+        assert_eq!(tokenize("12:30 PM"), vec!["12", "30", "pm"]);
+    }
+
+    #[test]
+    fn edit_distance_basic_properties() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("Bachelor", "Bechxlor"), 2);
+    }
+
+    #[test]
+    fn normalize_trims_and_lowercases() {
+        assert_eq!(normalize("  Heart Attack "), "heart attack");
+    }
+}

@@ -1,0 +1,174 @@
+//! Plugging a custom LLM into ZeroED.
+//!
+//! ```text
+//! cargo run --release --example custom_llm
+//! ```
+//!
+//! The pipeline only talks to the `LlmClient` trait, so swapping the simulated
+//! model for a served one (vLLM, an HTTP API, ...) means implementing that
+//! trait. This example implements a tiny rule-of-thumb "LLM" from scratch —
+//! it answers every request with simple heuristics — and runs the full
+//! pipeline against it, demonstrating exactly which methods a real client has
+//! to provide and how token accounting works.
+
+use zeroed::criteria::{Check, CriteriaSet, Criterion};
+use zeroed::llm::{
+    count_tokens, AttributeContext, DistributionAnalysis, ErrorTypeGuide, Guideline, LlmClient,
+    TokenLedger,
+};
+use zeroed::prelude::*;
+
+/// A minimal hand-rolled "LLM": flags missing values and values it has never
+/// seen more than once, and produces one not-missing criterion per attribute.
+struct RuleOfThumbLlm {
+    ledger: TokenLedger,
+}
+
+impl RuleOfThumbLlm {
+    fn new() -> Self {
+        Self {
+            ledger: TokenLedger::new(),
+        }
+    }
+
+    fn charge(&self, prompt: &str, response: &str) {
+        self.ledger
+            .record_counts(count_tokens(prompt), count_tokens(response));
+    }
+}
+
+impl LlmClient for RuleOfThumbLlm {
+    fn name(&self) -> &str {
+        "rule-of-thumb"
+    }
+
+    fn ledger(&self) -> &TokenLedger {
+        &self.ledger
+    }
+
+    fn generate_criteria(&self, ctx: &AttributeContext<'_>) -> CriteriaSet {
+        self.charge("generate criteria", "one criterion");
+        let mut set = CriteriaSet::new(ctx.column);
+        set.criteria.push(Criterion::new(
+            format!("is_clean_{}_not_missing", ctx.column_name()),
+            "values should be present",
+            Check::NotMissing,
+        ));
+        set
+    }
+
+    fn analyze_distribution(&self, ctx: &AttributeContext<'_>) -> DistributionAnalysis {
+        self.charge("analyze distribution", "summary");
+        DistributionAnalysis {
+            column: ctx.column_name().to_string(),
+            total_records: ctx.table.n_rows(),
+            distinct_values: 0,
+            missing_ratio: 0.0,
+            frequent_values: vec![],
+            rare_values: vec![],
+            frequent_patterns: vec![],
+            numeric_summary: None,
+            findings: vec!["no analysis performed by this toy client".into()],
+        }
+    }
+
+    fn generate_guideline(
+        &self,
+        ctx: &AttributeContext<'_>,
+        _analysis: &DistributionAnalysis,
+    ) -> Guideline {
+        self.charge("generate guideline", "guideline");
+        Guideline {
+            column: ctx.column_name().to_string(),
+            explanation: "flag empty values and one-off strings".into(),
+            error_types: vec![ErrorTypeGuide {
+                error_type: ErrorType::MissingValue,
+                examples: vec![String::new()],
+                causes: "blank fields".into(),
+                detection: "value is empty".into(),
+            }],
+        }
+    }
+
+    fn label_batch(
+        &self,
+        ctx: &AttributeContext<'_>,
+        _guideline: Option<&Guideline>,
+        rows: &[usize],
+    ) -> Vec<bool> {
+        self.charge("label batch", "labels");
+        rows.iter()
+            .map(|&row| {
+                let v = ctx.table.cell(row, ctx.column);
+                let occurrences = ctx
+                    .table
+                    .column_refs(ctx.column)
+                    .iter()
+                    .filter(|x| **x == v)
+                    .count();
+                v.trim().is_empty() || occurrences <= 1
+            })
+            .collect()
+    }
+
+    fn refine_criteria(
+        &self,
+        _ctx: &AttributeContext<'_>,
+        _clean_examples: &[String],
+        _error_examples: &[String],
+        existing: &CriteriaSet,
+    ) -> CriteriaSet {
+        self.charge("refine criteria", "unchanged");
+        existing.clone()
+    }
+
+    fn augment_errors(
+        &self,
+        _ctx: &AttributeContext<'_>,
+        clean_examples: &[String],
+        count: usize,
+    ) -> Vec<String> {
+        self.charge("augment errors", "errors");
+        (0..count)
+            .map(|i| format!("{}x", clean_examples[i % clean_examples.len()]))
+            .collect()
+    }
+
+    fn detect_tuple(&self, table: &Table, row: usize) -> Vec<bool> {
+        self.charge("detect tuple", "flags");
+        (0..table.n_cols())
+            .map(|col| table.cell(row, col).trim().is_empty())
+            .collect()
+    }
+}
+
+fn main() {
+    let ds = generate(
+        DatasetSpec::Hospital,
+        &GenerateOptions {
+            n_rows: 300,
+            seed: 4,
+            ..Default::default()
+        },
+    );
+
+    let custom = RuleOfThumbLlm::new();
+    let outcome = ZeroEd::new(ZeroEdConfig::fast()).detect(&ds.dirty, &custom);
+    let report = outcome.mask.score_against(&ds.mask).unwrap();
+    println!(
+        "rule-of-thumb client: precision {:.3}, recall {:.3}, F1 {:.3}",
+        report.precision, report.recall, report.f1
+    );
+
+    let simulated = SimLlm::default_model(4).with_oracle(ds.mask.clone());
+    let outcome = ZeroEd::new(ZeroEdConfig::fast()).detect(&ds.dirty, &simulated);
+    let report = outcome.mask.score_against(&ds.mask).unwrap();
+    println!(
+        "simulated Qwen2.5-72b:  precision {:.3}, recall {:.3}, F1 {:.3}",
+        report.precision, report.recall, report.f1
+    );
+    println!(
+        "\ncustom client token usage: {:?}",
+        custom.ledger().usage()
+    );
+}

@@ -1,0 +1,78 @@
+//! Benchmark walk-through: generate the Flights dataset, run ZeroED and two
+//! baselines, and compare their precision/recall/F1 against the ground truth.
+//!
+//! ```text
+//! cargo run --release --example flights_cleaning
+//! ```
+//!
+//! Flights is the paper's canonical example of rule-violation-heavy data:
+//! several booking websites report the same flight with conflicting times, so
+//! cross-attribute context is essential. The example shows why the per-tuple
+//! LLM baseline (FM_ED) and the purely statistical baseline (dBoost) trail
+//! ZeroED there.
+
+use zeroed::baselines::{Baseline, BaselineInput, DBoost, FmEd};
+use zeroed::prelude::*;
+
+fn score(name: &str, mask: &ErrorMask, truth: &ErrorMask) {
+    let report = mask.score_against(truth).expect("same shape");
+    println!(
+        "{name:<8}  precision {:.3}  recall {:.3}  F1 {:.3}",
+        report.precision, report.recall, report.f1
+    );
+}
+
+fn main() {
+    // Generate a Flights benchmark instance with the paper's error profile.
+    let ds = generate(
+        DatasetSpec::Flights,
+        &GenerateOptions {
+            n_rows: 800,
+            seed: 11,
+            ..Default::default()
+        },
+    );
+    println!(
+        "Flights: {} tuples x {} attributes, {:.1}% erroneous cells\n",
+        ds.dirty.n_rows(),
+        ds.dirty.n_cols(),
+        ds.mask.error_rate() * 100.0
+    );
+
+    // The simulated LLM is calibrated with the ground truth (as the experiment
+    // harness does); swap in your own `LlmClient` for real deployments.
+    let types: Vec<_> = ds
+        .injected
+        .iter()
+        .map(|e| ((e.row, e.col), e.error_type))
+        .collect();
+    let llm = SimLlm::default_model(3)
+        .with_oracle(ds.mask.clone())
+        .with_error_types(types);
+
+    // ZeroED.
+    let outcome = ZeroEd::new(ZeroEdConfig::default()).detect(&ds.dirty, &llm);
+    score("ZeroED", &outcome.mask, &ds.mask);
+
+    // FM_ED: per-tuple LLM prompting.
+    let fm_mask = FmEd::new(&llm).detect(&BaselineInput {
+        dirty: &ds.dirty,
+        metadata: &ds.metadata,
+        labeled: &[],
+    });
+    score("FM_ED", &fm_mask, &ds.mask);
+
+    // dBoost: statistical outliers only.
+    let dboost_mask = DBoost::default().detect(&BaselineInput {
+        dirty: &ds.dirty,
+        metadata: &ds.metadata,
+        labeled: &[],
+    });
+    score("dBoost", &dboost_mask, &ds.mask);
+
+    println!(
+        "\nLLM token usage across both LLM-based methods: {} input / {} output",
+        llm.ledger().usage().input_tokens,
+        llm.ledger().usage().output_tokens
+    );
+}

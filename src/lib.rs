@@ -1,0 +1,70 @@
+//! # zeroed
+//!
+//! Umbrella crate for the ZeroED reproduction: hybrid zero-shot error
+//! detection for tabular data through (simulated) LLM reasoning.
+//!
+//! This crate re-exports the workspace's public surface so applications can
+//! depend on a single crate:
+//!
+//! * [`table`] — tabular data model, CSV I/O, error masks, metrics;
+//! * [`datagen`] — benchmark dataset generators and BART-style error injection;
+//! * [`features`] — statistical/semantic/criteria feature representation;
+//! * [`cluster`] — k-means, agglomerative clustering and random sampling;
+//! * [`ml`] — the MLP detector and logistic regression;
+//! * [`criteria`] — the executable error-checking criteria DSL;
+//! * [`llm`] — the `LlmClient` abstraction, prompt templates, token ledger and
+//!   the simulated LLM;
+//! * [`baselines`] — dBoost, NADEEF, KATARA, Raha, ActiveClean and FM_ED;
+//! * [`core`] — the ZeroED pipeline itself.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and the repository
+//! README for the architecture overview.
+//!
+//! ```
+//! use zeroed::prelude::*;
+//!
+//! let ds = generate(DatasetSpec::Beers, &GenerateOptions { n_rows: 120, seed: 1, ..Default::default() });
+//! let llm = SimLlm::default_model(1).with_oracle(ds.mask.clone());
+//! let outcome = ZeroEd::new(ZeroEdConfig::fast()).detect(&ds.dirty, &llm);
+//! let report = outcome.mask.score_against(&ds.mask).unwrap();
+//! assert!(report.f1 >= 0.0);
+//! ```
+
+pub use zeroed_baselines as baselines;
+pub use zeroed_cluster as cluster;
+pub use zeroed_core as core;
+pub use zeroed_criteria as criteria;
+pub use zeroed_datagen as datagen;
+pub use zeroed_features as features;
+pub use zeroed_llm as llm;
+pub use zeroed_ml as ml;
+pub use zeroed_table as table;
+
+/// The most commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use zeroed_baselines::{Baseline, BaselineInput, LabeledTuple};
+    pub use zeroed_core::{DetectionOutcome, ZeroEd, ZeroEdConfig};
+    pub use zeroed_datagen::{generate, DatasetSpec, ErrorSpec, GenerateOptions};
+    pub use zeroed_llm::{LlmClient, LlmProfile, SimLlm};
+    pub use zeroed_table::{DetectionReport, ErrorMask, ErrorType, Table};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_round_trip() {
+        let ds = generate(
+            DatasetSpec::Flights,
+            &GenerateOptions {
+                n_rows: 60,
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(ds.dirty.n_rows(), 60);
+        let llm = SimLlm::default_model(2);
+        assert_eq!(llm.name(), "Qwen2.5-72b");
+    }
+}
