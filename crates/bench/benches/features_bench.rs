@@ -52,6 +52,32 @@ fn bench_features(c: &mut Criterion) {
     c.bench_function("features/full_build_500x20", |b| {
         b.iter(|| black_box(builder.build(table, &[])))
     });
+
+    // Interned fast path vs. the seed per-cell reference on the same fitted
+    // state — the speedup this pair reports is what BENCH_features.json
+    // tracks across PRs.
+    let fitted = builder.fit(table, &[]);
+    c.bench_function("features/build_all_interned_500x20", |b| {
+        b.iter(|| black_box(fitted.build_all()))
+    });
+    c.bench_function("features/build_all_reference_500x20", |b| {
+        b.iter(|| black_box(zeroed_features::reference::build_all_reference(&fitted)))
+    });
+
+    c.bench_function("features/intern_table_500x20", |b| {
+        b.iter(|| black_box(table.intern()))
+    });
+
+    let mut embed_out = vec![0.0f32; embedder.dim()];
+    c.bench_function("features/hash_embedding_cell_into", |b| {
+        b.iter(|| {
+            embedder.embed_into(
+                black_box("prophylactic antibiotic received within one hour"),
+                &mut embed_out,
+            );
+            black_box(embed_out[0])
+        })
+    });
 }
 
 criterion_group!(benches, bench_features);

@@ -105,9 +105,14 @@ pub fn train_and_predict(
     };
     let mlp = Mlp::fit(&scaled_refs, &labels, &mlp_config);
 
-    // Predict every cell of the column.
+    // Predict every cell of the column, standardising into one reused buffer
+    // instead of allocating a fresh vector per cell.
+    let mut scratch = vec![0.0f32; scaler.dim()];
     (0..n_rows)
-        .map(|row| mlp.predict(&scaler.transform(unified.row(row))))
+        .map(|row| {
+            scaler.transform_into(unified.row(row), &mut scratch);
+            mlp.predict(&scratch)
+        })
         .collect()
 }
 

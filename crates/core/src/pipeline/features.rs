@@ -6,16 +6,24 @@
 
 use crate::config::ZeroEdConfig;
 use zeroed_criteria::{criteria_features, CriteriaSet};
-use zeroed_features::nmi::top_k_correlated_sampled;
+use zeroed_features::nmi::top_k_correlated_dict;
 use zeroed_llm::{AttributeContext, LlmClient};
-use zeroed_table::Table;
+use zeroed_table::{Table, TableDict};
 
 /// Computes the top-`k` correlated attributes for every column (empty lists
-/// when the correlated-attribute component is ablated).
+/// when the correlated-attribute component is ablated). Interns the table
+/// internally; the pipeline itself uses [`compute_correlated_dict`] so the
+/// dictionary is built exactly once per detection run.
 pub fn compute_correlated(table: &Table, config: &ZeroEdConfig) -> Vec<Vec<usize>> {
+    compute_correlated_dict(&table.intern(), config)
+}
+
+/// [`compute_correlated`] over a pre-built distinct-value dictionary: NMI is
+/// estimated on interned `u32` codes instead of string columns.
+pub fn compute_correlated_dict(dict: &TableDict, config: &ZeroEdConfig) -> Vec<Vec<usize>> {
     let k = config.effective_top_k();
-    (0..table.n_cols())
-        .map(|j| top_k_correlated_sampled(table, j, k, 5_000))
+    (0..dict.n_cols())
+        .map(|j| top_k_correlated_dict(dict, j, k, 5_000))
         .collect()
 }
 

@@ -8,6 +8,7 @@ pub mod training_data;
 
 use crate::config::ZeroEdConfig;
 use crate::report::{DetectionOutcome, PipelineStats, StepTimings};
+use std::sync::Arc;
 use std::time::Instant;
 use zeroed_features::{FeatureBuilder, FeatureConfig};
 use zeroed_llm::{AttributeContext, LlmClient};
@@ -61,7 +62,10 @@ impl ZeroEd {
         // Step 1 — feature representation with criteria reasoning (§III-B).
         // ------------------------------------------------------------------
         let t0 = Instant::now();
-        let correlated = features::compute_correlated(dirty, config);
+        // Intern the table once; the dictionary is shared by correlated-
+        // attribute selection, the frequency model and the feature caches.
+        let dict = Arc::new(dirty.intern());
+        let correlated = features::compute_correlated_dict(&dict, config);
         let criteria = features::generate_criteria(dirty, &correlated, config, llm);
         let extra = features::criteria_extra(&criteria, dirty);
         let feature_config = FeatureConfig {
@@ -70,7 +74,9 @@ impl ZeroEd {
             ..FeatureConfig::default()
         };
         let builder = FeatureBuilder::new(feature_config);
-        let fitted = builder.fit(dirty, &extra);
+        // Reuse the correlated attributes computed above (the same lists the
+        // LLM prompt contexts describe) — the NMI sweep runs exactly once.
+        let fitted = builder.fit_prepared(dirty, dict, correlated.clone(), &extra);
         let feats = fitted.build_all();
         stats.criteria_count = criteria.iter().flatten().map(|c| c.len()).sum();
         timings.features = t0.elapsed();

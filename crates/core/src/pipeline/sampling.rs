@@ -41,7 +41,7 @@ pub fn sample_column(
     let k = k.clamp(1, n_rows);
 
     if n_rows <= max_rows {
-        let rows: Vec<&[f32]> = (0..n_rows).map(|i| features.row(i)).collect();
+        let rows = features.row_refs();
         let clustering = cluster(method, &rows, k, seed);
         let representatives = clustering.representatives(&rows);
         return ColumnSampling {
@@ -56,7 +56,7 @@ pub fn sample_column(
     let sample_rows: Vec<&[f32]> = sample_indices.iter().map(|&i| features.row(i)).collect();
     let sub = cluster(method, &sample_rows, k, seed);
     // Assign *all* rows to the nearest centroid of the subsampled clustering.
-    let all_rows: Vec<&[f32]> = (0..n_rows).map(|i| features.row(i)).collect();
+    let all_rows = features.row_refs();
     let assignments = assign_to_nearest(&all_rows, &sub.centroids);
     let clustering = Clustering {
         k: sub.k,

@@ -43,8 +43,11 @@ pub fn construct(
     let col = ctx.column;
 
     // ---- Line 1: propagate labels within clusters. -----------------------
-    let mut clean_rows: Vec<usize> = Vec::new();
-    let mut error_rows: Vec<usize> = Vec::new();
+    // Propagation touches every row of the column; reserve up front so the
+    // pushes below never reallocate mid-loop.
+    let n_assignments = sampling.clustering.assignments.len();
+    let mut clean_rows: Vec<usize> = Vec::with_capacity(n_assignments);
+    let mut error_rows: Vec<usize> = Vec::with_capacity(n_assignments / 4);
     let mut propagated_cells = 0usize;
     // Label of each cluster = label of its representative (when labelled).
     let mut cluster_label: HashMap<usize, bool> = HashMap::new();

@@ -1,0 +1,82 @@
+//! A minimal FxHash-style multiplicative hasher for small fixed-width keys.
+//!
+//! The interned featurisation path keys its hot maps by `u32` codes or
+//! `(u32, u32)` code pairs; the default SipHash is overkill for 8-byte keys
+//! and dominates lookup cost. This hasher (rotate-xor-multiply per word, the
+//! scheme rustc's `FxHashMap` uses) is a few times faster and perfectly
+//! adequate for non-adversarial interned codes.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Rotate-xor-multiply hasher over 64-bit words.
+#[derive(Default, Clone)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline(always)]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-keyed maps.
+pub(crate) type FxBuild = BuildHasherDefault<FxHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn pair_keys_round_trip() {
+        let mut map: HashMap<(u32, u32), usize, FxBuild> = HashMap::default();
+        for a in 0..50u32 {
+            for b in 0..50u32 {
+                map.insert((a, b), (a * 100 + b) as usize);
+            }
+        }
+        assert_eq!(map.len(), 2500);
+        assert_eq!(map[&(7, 13)], 713);
+        assert_eq!(map.get(&(99, 99)), None);
+    }
+}

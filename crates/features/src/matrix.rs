@@ -60,9 +60,38 @@ impl FeatureMatrix {
         &mut self.data[i * self.n_cols..(i + 1) * self.n_cols]
     }
 
+    /// Builds a matrix from an existing flat row-major buffer.
+    ///
+    /// Panics when `data.len() != n_rows * n_cols` (programming error).
+    pub fn from_flat(n_rows: usize, n_cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            n_rows * n_cols,
+            "flat buffer must hold n_rows * n_cols values"
+        );
+        Self {
+            n_rows,
+            n_cols,
+            data,
+        }
+    }
+
     /// The underlying flat row-major buffer.
     pub fn as_slice(&self) -> &[f32] {
         &self.data
+    }
+
+    /// Mutable access to the flat row-major buffer (used by the zero-copy
+    /// feature assembly to scatter per-distinct-value blocks into rows, and to
+    /// split the buffer into disjoint row chunks for parallel writers).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrowed references to every row in order — the view the clustering
+    /// and detector layers consume (`&[&[f32]]`) without copying any data.
+    pub fn row_refs(&self) -> Vec<&[f32]> {
+        (0..self.n_rows).map(|i| self.row(i)).collect()
     }
 
     /// Returns a new matrix keeping only the selected rows.
@@ -76,16 +105,34 @@ impl FeatureMatrix {
 
     /// Horizontally concatenates two matrices with the same row count.
     pub fn hconcat(&self, other: &FeatureMatrix) -> FeatureMatrix {
-        assert_eq!(
-            self.n_rows, other.n_rows,
-            "hconcat requires matching row counts"
-        );
-        let mut out = FeatureMatrix::zeros(self.n_rows, self.n_cols + other.n_cols);
-        for i in 0..self.n_rows {
-            out.row_mut(i)[..self.n_cols].copy_from_slice(self.row(i));
-            out.row_mut(i)[self.n_cols..].copy_from_slice(other.row(i));
+        FeatureMatrix::hconcat_all(&[self, other])
+    }
+
+    /// Horizontally concatenates any number of matrices with the same row
+    /// count in a single pass.
+    ///
+    /// Unlike chaining [`FeatureMatrix::hconcat`] — which re-copies the whole
+    /// accumulated prefix on every step (`O(parts² · cells)`) — every input
+    /// cell is written exactly once. An empty `parts` yields a 0×0 matrix.
+    pub fn hconcat_all(parts: &[&FeatureMatrix]) -> FeatureMatrix {
+        let Some(first) = parts.first() else {
+            return FeatureMatrix::zeros(0, 0);
+        };
+        let n_rows = first.n_rows;
+        for part in parts {
+            assert_eq!(
+                part.n_rows, n_rows,
+                "hconcat_all requires matching row counts"
+            );
         }
-        out
+        let n_cols: usize = parts.iter().map(|p| p.n_cols).sum();
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for i in 0..n_rows {
+            for part in parts {
+                data.extend_from_slice(part.row(i));
+            }
+        }
+        FeatureMatrix::from_flat(n_rows, n_cols, data)
     }
 
     /// Squared Euclidean distance between two rows of (possibly different)
@@ -132,6 +179,35 @@ mod tests {
         let c = m.hconcat(&n);
         assert_eq!(c.n_cols(), 2);
         assert_eq!(c.row(1), &[2.0, 8.0]);
+    }
+
+    #[test]
+    fn hconcat_all_single_pass_matches_chained_concat() {
+        let a = FeatureMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = FeatureMatrix::from_rows(vec![vec![5.0], vec![6.0]]);
+        let c = FeatureMatrix::from_rows(vec![vec![7.0, 8.0, 9.0], vec![10.0, 11.0, 12.0]]);
+        let chained = a.hconcat(&b).hconcat(&c);
+        let single = FeatureMatrix::hconcat_all(&[&a, &b, &c]);
+        assert_eq!(single, chained);
+        assert_eq!(single.n_cols(), 6);
+        assert_eq!(single.row(0), &[1.0, 2.0, 5.0, 7.0, 8.0, 9.0]);
+        // Degenerate arities.
+        assert_eq!(FeatureMatrix::hconcat_all(&[&a]), a);
+        let empty = FeatureMatrix::hconcat_all(&[]);
+        assert_eq!(empty.n_rows(), 0);
+        assert_eq!(empty.n_cols(), 0);
+    }
+
+    #[test]
+    fn from_flat_round_trips() {
+        let m = FeatureMatrix::from_flat(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_rows * n_cols")]
+    fn from_flat_checks_length() {
+        let _ = FeatureMatrix::from_flat(2, 3, vec![0.0; 5]);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! and is normalised to `[0, 1]`.
 
 use std::collections::HashMap;
-use zeroed_table::Table;
+use zeroed_table::{Table, TableDict};
 
 /// Computes the normalised mutual information between two value sequences of
 /// equal length.
@@ -50,6 +50,56 @@ pub fn column_nmi(table: &Table, col_a: usize, col_b: usize) -> f64 {
     normalized_mutual_information(&xs, &ys)
 }
 
+/// NMI over two equal-length interned code sequences.
+///
+/// Identical in definition to [`normalized_mutual_information`] but keyed by
+/// `u32` codes, so no string hashing or `&str` comparisons happen on the hot
+/// path. Codes are remapped to dense local indices first, keeping the cost
+/// `O(len)` even when the sequences are a small sample of a high-cardinality
+/// column (sampled codes can be numerically huge while few are present).
+/// (Floating-point summation order differs from the string-keyed variant, so
+/// results may differ in the last ulp.)
+pub fn nmi_from_codes(xs: &[u32], ys: &[u32]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "NMI requires equal-length columns");
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    // Dense local remap: index = first-occurrence rank within the sample.
+    let mut remap_x: HashMap<u32, u32, crate::fx::FxBuild> = HashMap::default();
+    let mut remap_y: HashMap<u32, u32, crate::fx::FxBuild> = HashMap::default();
+    let mut px: Vec<f64> = Vec::new();
+    let mut py: Vec<f64> = Vec::new();
+    let mut pxy: HashMap<(u32, u32), f64, crate::fx::FxBuild> = HashMap::default();
+    let inc = 1.0 / n as f64;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        let xi = *remap_x.entry(x).or_insert_with(|| {
+            px.push(0.0);
+            px.len() as u32 - 1
+        });
+        let yi = *remap_y.entry(y).or_insert_with(|| {
+            py.push(0.0);
+            py.len() as u32 - 1
+        });
+        px[xi as usize] += inc;
+        py[yi as usize] += inc;
+        *pxy.entry((xi, yi)).or_insert(0.0) += inc;
+    }
+    let hx: f64 = -px.iter().map(|p| p * p.ln()).sum::<f64>();
+    let hy: f64 = -py.iter().map(|p| p * p.ln()).sum::<f64>();
+    if hx <= 1e-12 || hy <= 1e-12 {
+        return 0.0;
+    }
+    let mut mi = 0.0;
+    for (&(x, y), p) in &pxy {
+        let denom = px[x as usize] * py[y as usize];
+        if *p > 0.0 && denom > 0.0 {
+            mi += p * (p / denom).ln();
+        }
+    }
+    (mi / (hx * hy).sqrt()).clamp(0.0, 1.0)
+}
+
 /// Returns the indices of the `k` attributes most correlated with `target`
 /// (by NMI, descending), excluding `target` itself.
 ///
@@ -83,6 +133,38 @@ pub fn top_k_correlated_sampled(
         .map(|j| {
             let vals: Vec<&str> = sample_rows.iter().map(|&i| table.cell(i, j)).collect();
             (j, normalized_mutual_information(&vals, &target_vals))
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.into_iter().take(k).map(|(j, _)| j).collect()
+}
+
+/// [`top_k_correlated_sampled`] over an interned table: NMI is estimated on
+/// `u32` code vectors instead of string columns, so the sweep over candidate
+/// attributes does no string hashing at all.
+pub fn top_k_correlated_dict(
+    dict: &TableDict,
+    target: usize,
+    k: usize,
+    max_rows: usize,
+) -> Vec<usize> {
+    let n_cols = dict.n_cols();
+    if n_cols <= 1 || k == 0 {
+        return Vec::new();
+    }
+    let n_rows = dict.n_rows();
+    let stride = (n_rows / max_rows.max(1)).max(1);
+    let sample_rows: Vec<usize> = (0..n_rows).step_by(stride).collect();
+    let target_codes: Vec<u32> = {
+        let col = dict.column(target);
+        sample_rows.iter().map(|&i| col.code(i)).collect()
+    };
+    let mut scored: Vec<(usize, f64)> = (0..n_cols)
+        .filter(|&j| j != target)
+        .map(|j| {
+            let col = dict.column(j);
+            let codes: Vec<u32> = sample_rows.iter().map(|&i| col.code(i)).collect();
+            (j, nmi_from_codes(&codes, &target_codes))
         })
         .collect();
     scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -128,6 +210,36 @@ mod tests {
         let ys = vec!["1", "2", "1", "2"];
         assert_eq!(normalized_mutual_information(&xs, &ys), 0.0);
         assert_eq!(normalized_mutual_information(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn code_nmi_agrees_with_string_nmi() {
+        let rows: Vec<Vec<String>> = (0..120)
+            .map(|i| {
+                let a = format!("a{}", i % 7);
+                let b = format!("b{}", (i % 7) / 2);
+                let c = format!("c{}", (i * 13) % 5);
+                vec![a, b, c]
+            })
+            .collect();
+        let t = Table::new("t", vec!["a".into(), "b".into(), "c".into()], rows).unwrap();
+        let dict = t.intern();
+        for (x, y) in [(0, 1), (0, 2), (1, 2)] {
+            let string_nmi = column_nmi(&t, x, y);
+            let code_nmi = nmi_from_codes(dict.column(x).codes(), dict.column(y).codes());
+            assert!(
+                (string_nmi - code_nmi).abs() < 1e-9,
+                "columns ({x}, {y}): {string_nmi} vs {code_nmi}"
+            );
+        }
+        // The dict-based top-k ranking matches the string-based one.
+        for target in 0..3 {
+            assert_eq!(
+                top_k_correlated_sampled(&t, target, 2, 5_000),
+                top_k_correlated_dict(&dict, target, 2, 5_000),
+                "target {target}"
+            );
+        }
     }
 
     #[test]

@@ -8,47 +8,90 @@
 //!   (an empirical estimate of `P(D[i,j] | D[i,q])`);
 //! * **pattern frequency** — how often the value's generalised pattern (at
 //!   levels L1–L3) occurs within the attribute.
+//!
+//! All counts are keyed by the table's interned value codes
+//! ([`zeroed_table::TableDict`]): value counts come straight from the
+//! dictionary, pattern generalisation runs once per *distinct* value with the
+//! per-code pattern count memoised, and co-occurrence maps are keyed by
+//! `(u32, u32)` code pairs instead of owned `(String, String)` pairs. The
+//! string-keyed accessors remain for arbitrary (e.g. hypothetical) values and
+//! produce results identical to the seed implementation.
 
+use crate::fx::FxBuild;
 use crate::pattern::{generalize, Level};
 use std::collections::HashMap;
-use zeroed_table::Table;
+use std::sync::Arc;
+use zeroed_table::{Table, TableDict};
+
+fn level_index(level: Level) -> usize {
+    match level {
+        Level::L1 => 0,
+        Level::L2 => 1,
+        Level::L3 => 2,
+    }
+}
 
 /// Pre-computed per-attribute frequency statistics for one table.
 #[derive(Debug, Clone)]
 pub struct FrequencyModel {
+    dict: Arc<TableDict>,
     n_rows: usize,
-    /// Per column: value → count.
-    value_counts: Vec<HashMap<String, usize>>,
-    /// Per column and level: pattern → count.
+    /// Per column and level: pattern → count (serves arbitrary-value queries).
     pattern_counts: Vec<[HashMap<String, usize>; 3]>,
+    /// Per column and level: memoised pattern count of each distinct code.
+    pattern_count_of_code: Vec<[Vec<usize>; 3]>,
     /// Lazily built co-occurrence maps keyed by (col_j, col_q):
-    /// (value_j, value_q) → count.
-    pair_counts: HashMap<(usize, usize), HashMap<(String, String), usize>>,
+    /// (code_j, code_q) → count.
+    pair_counts: HashMap<(usize, usize), HashMap<(u32, u32), usize, FxBuild>>,
+    /// Per prepared pair: the co-occurrence count of each *row's* code pair,
+    /// so the full-table scatter reads an array instead of hashing.
+    pair_row_counts: HashMap<(usize, usize), Vec<u32>>,
 }
 
 impl FrequencyModel {
     /// Builds value and pattern counts for every column of the table.
     pub fn new(table: &Table) -> Self {
-        let n_cols = table.n_cols();
-        let n_rows = table.n_rows();
-        let mut value_counts = vec![HashMap::new(); n_cols];
+        Self::from_dict(Arc::new(table.intern()))
+    }
+
+    /// Builds the model over an existing dictionary (shared with other
+    /// featurisation layers so the table is interned exactly once).
+    pub fn from_dict(dict: Arc<TableDict>) -> Self {
+        let n_rows = dict.n_rows();
+        let n_cols = dict.n_cols();
         let mut pattern_counts: Vec<[HashMap<String, usize>; 3]> = (0..n_cols)
             .map(|_| [HashMap::new(), HashMap::new(), HashMap::new()])
             .collect();
-        for row in table.rows() {
-            for (j, v) in row.iter().enumerate() {
-                *value_counts[j].entry(v.clone()).or_insert(0) += 1;
+        let mut pattern_count_of_code: Vec<[Vec<usize>; 3]> = Vec::with_capacity(n_cols);
+        for j in 0..n_cols {
+            let col = dict.column(j);
+            // Generalise each *distinct* value once; a pattern's count is the
+            // sum of the value counts mapping to it.
+            let mut pattern_of_code: [Vec<String>; 3] =
+                [Vec::new(), Vec::new(), Vec::new()];
+            for (code, value) in col.values().iter().enumerate() {
                 for (li, level) in Level::ALL.iter().enumerate() {
-                    let pat = generalize(v, *level);
-                    *pattern_counts[j][li].entry(pat).or_insert(0) += 1;
+                    let pat = generalize(value, *level);
+                    *pattern_counts[j][li].entry(pat.clone()).or_insert(0) +=
+                        col.count(code as u32) as usize;
+                    pattern_of_code[li].push(pat);
                 }
             }
+            let memo: [Vec<usize>; 3] = std::array::from_fn(|li| {
+                pattern_of_code[li]
+                    .iter()
+                    .map(|pat| pattern_counts[j][li][pat])
+                    .collect()
+            });
+            pattern_count_of_code.push(memo);
         }
         Self {
+            dict,
             n_rows,
-            value_counts,
             pattern_counts,
+            pattern_count_of_code,
             pair_counts: HashMap::new(),
+            pair_row_counts: HashMap::new(),
         }
     }
 
@@ -57,22 +100,40 @@ impl FrequencyModel {
         self.n_rows
     }
 
+    /// The shared distinct-value dictionary.
+    pub fn dict(&self) -> &Arc<TableDict> {
+        &self.dict
+    }
+
     /// Relative frequency of `value` within column `col` (0 when unseen).
     pub fn value_frequency(&self, col: usize, value: &str) -> f64 {
         if self.n_rows == 0 {
             return 0.0;
         }
-        *self.value_counts[col].get(value).unwrap_or(&0) as f64 / self.n_rows as f64
+        self.value_count(col, value) as f64 / self.n_rows as f64
+    }
+
+    /// Relative frequency of the distinct value `code` within column `col`.
+    #[inline]
+    pub fn value_frequency_code(&self, col: usize, code: u32) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        self.dict.column(col).count(code) as f64 / self.n_rows as f64
     }
 
     /// Absolute count of `value` within column `col`.
     pub fn value_count(&self, col: usize, value: &str) -> usize {
-        *self.value_counts[col].get(value).unwrap_or(&0)
+        let col_dict = self.dict.column(col);
+        col_dict
+            .lookup(value)
+            .map(|code| col_dict.count(code) as usize)
+            .unwrap_or(0)
     }
 
     /// Number of distinct values in a column.
     pub fn distinct_count(&self, col: usize) -> usize {
-        self.value_counts[col].len()
+        self.dict.column(col).n_distinct()
     }
 
     /// Relative frequency of the value's generalised pattern at `level`.
@@ -80,27 +141,49 @@ impl FrequencyModel {
         if self.n_rows == 0 {
             return 0.0;
         }
-        let li = match level {
-            Level::L1 => 0,
-            Level::L2 => 1,
-            Level::L3 => 2,
-        };
+        let li = level_index(level);
+        // Memoised fast path for values that occur in the table.
+        if let Some(code) = self.dict.column(col).lookup(value) {
+            return self.pattern_count_of_code[col][li][code as usize] as f64
+                / self.n_rows as f64;
+        }
         let pat = generalize(value, level);
         *self.pattern_counts[col][li].get(&pat).unwrap_or(&0) as f64 / self.n_rows as f64
     }
 
+    /// Relative frequency of the pattern of distinct value `code` at `level`.
+    #[inline]
+    pub fn pattern_frequency_code(&self, col: usize, code: u32, level: Level) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        self.pattern_count_of_code[col][level_index(level)][code as usize] as f64
+            / self.n_rows as f64
+    }
+
     /// Ensures the co-occurrence map for `(col_j, col_q)` is built. Pair maps
     /// are constructed lazily because only the top-`k` correlated attribute
-    /// pairs are ever requested.
-    pub fn prepare_pair(&mut self, table: &Table, col_j: usize, col_q: usize) {
+    /// pairs are ever requested. `table` must be the table the model was built
+    /// from (kept in the signature for API compatibility; the codes come from
+    /// the shared dictionary).
+    pub fn prepare_pair(&mut self, _table: &Table, col_j: usize, col_q: usize) {
         if col_j == col_q || self.pair_counts.contains_key(&(col_j, col_q)) {
             return;
         }
-        let mut map: HashMap<(String, String), usize> = HashMap::new();
-        for row in table.rows() {
-            *map.entry((row[col_j].clone(), row[col_q].clone()))
-                .or_insert(0) += 1;
+        let codes_j = self.dict.column(col_j).codes();
+        let codes_q = self.dict.column(col_q).codes();
+        let mut map: HashMap<(u32, u32), usize, FxBuild> = HashMap::default();
+        for (&cj, &cq) in codes_j.iter().zip(codes_q.iter()) {
+            *map.entry((cj, cq)).or_insert(0) += 1;
         }
+        // Memoise each row's own pair count so the build_all scatter does a
+        // single array read per vicinity slot instead of a map lookup.
+        let row_counts: Vec<u32> = codes_j
+            .iter()
+            .zip(codes_q.iter())
+            .map(|(&cj, &cq)| map[&(cj, cq)] as u32)
+            .collect();
+        self.pair_row_counts.insert((col_j, col_q), row_counts);
         self.pair_counts.insert((col_j, col_q), map);
     }
 
@@ -121,14 +204,54 @@ impl FrequencyModel {
         if col_j == col_q {
             return self.value_frequency(col_j, value_j);
         }
-        let denom = self.value_count(col_q, value_q);
+        let Some(code_q) = self.dict.column(col_q).lookup(value_q) else {
+            return 0.0;
+        };
+        let Some(code_j) = self.dict.column(col_j).lookup(value_j) else {
+            // Unknown value_j cannot co-occur with anything, but an unknown
+            // conditioning value must still yield 0 before the denominator is
+            // consulted — both branches return 0, matching the seed.
+            return 0.0;
+        };
+        self.vicinity_frequency_code(col_j, code_j, col_q, code_q)
+    }
+
+    /// Vicinity frequency of row `row`'s own cell pair in `(col_j, col_q)` —
+    /// the hash-free hot path of the full-table scatter. Must only be called
+    /// for prepared pairs with `col_j != col_q`.
+    #[inline]
+    pub fn vicinity_frequency_row(&self, col_j: usize, col_q: usize, row: usize) -> f64 {
+        debug_assert_ne!(col_j, col_q);
+        let Some(row_counts) = self.pair_row_counts.get(&(col_j, col_q)) else {
+            return 0.0;
+        };
+        let denom = self.dict.column(col_q).count(self.dict.column(col_q).code(row));
+        if denom == 0 {
+            return 0.0;
+        }
+        row_counts[row] as f64 / denom as f64
+    }
+
+    /// Code-keyed vicinity frequency (fast path for values in the table).
+    #[inline]
+    pub fn vicinity_frequency_code(
+        &self,
+        col_j: usize,
+        code_j: u32,
+        col_q: usize,
+        code_q: u32,
+    ) -> f64 {
+        if col_j == col_q {
+            return self.value_frequency_code(col_j, code_j);
+        }
+        let denom = self.dict.column(col_q).count(code_q) as usize;
         if denom == 0 {
             return 0.0;
         }
         let num = self
             .pair_counts
             .get(&(col_j, col_q))
-            .and_then(|m| m.get(&(value_j.to_string(), value_q.to_string())))
+            .and_then(|m| m.get(&(code_j, code_q)))
             .copied()
             .unwrap_or(0);
         num as f64 / denom as f64
@@ -164,6 +287,26 @@ mod tests {
     }
 
     #[test]
+    fn code_accessors_match_string_accessors() {
+        let t = table();
+        let fm = FrequencyModel::new(&t);
+        let dict = fm.dict().clone();
+        for j in 0..t.n_cols() {
+            for i in 0..t.n_rows() {
+                let value = t.cell(i, j);
+                let code = dict.column(j).code(i);
+                assert_eq!(fm.value_frequency(j, value), fm.value_frequency_code(j, code));
+                for level in Level::ALL {
+                    assert_eq!(
+                        fm.pattern_frequency(j, value, level),
+                        fm.pattern_frequency_code(j, code, level)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn pattern_frequency_groups_same_formats() {
         let fm = FrequencyModel::new(&table());
         // All salaries are digit strings; at L2 they share a pattern family
@@ -189,6 +332,28 @@ mod tests {
         assert_eq!(fm.vicinity_frequency(1, "M", 0, "nobody"), 0.0);
         // Unprepared pair returns 0 rather than panicking.
         assert_eq!(fm.vicinity_frequency(2, "80000", 0, "bob"), 0.0);
+    }
+
+    #[test]
+    fn row_vicinity_matches_code_and_string_paths() {
+        let t = table();
+        let mut fm = FrequencyModel::new(&t);
+        fm.prepare_pair(&t, 1, 0);
+        let dict = fm.dict().clone();
+        for row in 0..t.n_rows() {
+            let by_row = fm.vicinity_frequency_row(1, 0, row);
+            let by_code = fm.vicinity_frequency_code(
+                1,
+                dict.column(1).code(row),
+                0,
+                dict.column(0).code(row),
+            );
+            let by_string = fm.vicinity_frequency(1, t.cell(row, 1), 0, t.cell(row, 0));
+            assert_eq!(by_row, by_code, "row {row}");
+            assert_eq!(by_row, by_string, "row {row}");
+        }
+        // Unprepared pair stays 0.
+        assert_eq!(fm.vicinity_frequency_row(2, 0, 0), 0.0);
     }
 
     #[test]

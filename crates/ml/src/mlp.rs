@@ -58,13 +58,17 @@ impl Param {
         const B1: f32 = 0.9;
         const B2: f32 = 0.999;
         const EPS: f32 = 1e-8;
+        // The bias-correction factors depend only on the step count — hoist
+        // them so each step costs O(1) `powi` calls instead of O(params).
         let t = t as i32;
+        let m_corr = 1.0 / (1.0 - B1.powi(t));
+        let v_corr = 1.0 / (1.0 - B2.powi(t));
         for i in 0..self.value.len() {
             let g = grad[i] + weight_decay * self.value[i];
             self.m[i] = B1 * self.m[i] + (1.0 - B1) * g;
             self.v[i] = B2 * self.v[i] + (1.0 - B2) * g * g;
-            let m_hat = self.m[i] / (1.0 - B1.powi(t));
-            let v_hat = self.v[i] / (1.0 - B2.powi(t));
+            let m_hat = self.m[i] * m_corr;
+            let v_hat = self.v[i] * v_corr;
             self.value[i] -= lr * m_hat / (v_hat.sqrt() + EPS);
         }
     }

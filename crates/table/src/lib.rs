@@ -19,12 +19,22 @@
 //! * [`errors`] — the five error types of the paper (missing values, typos,
 //!   pattern violations, outliers, rule violations) and a heuristic classifier
 //!   matching the paper's Table II categorisation rules.
+//! * [`intern`] — distinct-value dictionaries ([`TableDict`] / [`ColumnDict`]):
+//!   each column gets a `Vec<Arc<str>>` pool of its distinct values plus a
+//!   per-row `u32` code vector, built in one pass with [`Table::intern`].
+//!   Real tables are dominated by repeated values, so downstream layers
+//!   (frequency statistics, pattern generalisation, embeddings in
+//!   `zeroed-features`) compute per *distinct* value and scatter by code,
+//!   keying their hot maps by `u32` codes instead of owned `String`s. A
+//!   dictionary is a snapshot of the table at build time; rebuild after
+//!   mutating the table.
 //!
 //! The crate is deliberately dependency-light and panic-free on user input: all
 //! fallible operations return [`TableError`].
 
 pub mod csv;
 pub mod errors;
+pub mod intern;
 pub mod mask;
 pub mod metrics;
 pub mod schema;
@@ -32,6 +42,7 @@ pub mod table;
 pub mod value;
 
 pub use errors::{classify_error, ErrorType};
+pub use intern::{ColumnDict, TableDict};
 pub use mask::ErrorMask;
 pub use metrics::DetectionReport;
 pub use schema::{ColumnMeta, ColumnType, Schema};

@@ -1,0 +1,216 @@
+//! Offline stand-in for `criterion`: wall-clock micro-benchmarking with the
+//! same macro/API shape the workspace's benches use (`criterion_group!`,
+//! `criterion_main!`, `bench_function`, `benchmark_group`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`).
+//!
+//! Each benchmark is warmed up once, then timed adaptively: a single
+//! invocation if it already exceeds the per-bench time budget, otherwise
+//! enough invocations to fill the budget (default 200 ms, override with the
+//! `BENCH_BUDGET_MS` environment variable). Results are printed as
+//! `bench: <id> ... <mean>` lines and, when `BENCH_JSON_OUT` is set, appended
+//! to that path as JSON lines `{"id": ..., "mean_ns": ..., "iters": ...}` so
+//! harnesses (e.g. the `BENCH_features.json` emitter) can scrape timings.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier combining a function name and a parameter, mirroring
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    mean_ns: f64,
+    iters: u64,
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean wall-clock time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (also primes caches and lazy statics).
+        black_box(routine());
+        let budget = budget();
+        let t0 = Instant::now();
+        black_box(routine());
+        let first = t0.elapsed();
+        if first >= budget {
+            self.mean_ns = first.as_nanos() as f64;
+            self.iters = 1;
+            return;
+        }
+        let n = ((budget.as_nanos() / first.as_nanos().max(1)) as u64).clamp(1, 1_000);
+        let t1 = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        let total = t1.elapsed();
+        self.mean_ns = total.as_nanos() as f64 / n as f64;
+        self.iters = n;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn report(id: &str, b: &Bencher) {
+    println!(
+        "bench: {id:<48} {:>12}/iter ({} iters)",
+        format_ns(b.mean_ns),
+        b.iters
+    );
+    if let Ok(path) = std::env::var("BENCH_JSON_OUT") {
+        use std::io::Write;
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"id\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}",
+                id.replace('"', "'"),
+                b.mean_ns,
+                b.iters
+            );
+        }
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs and reports a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(id, &b);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes samples adaptively.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs and reports one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,155 @@
+//! Offline stand-in for `rand_chacha`: a real ChaCha8 keystream generator.
+//!
+//! Implements the ChaCha quarter-round construction (D. J. Bernstein) with 8
+//! rounds over the standard 16-word state, keyed from a 64-bit seed expanded
+//! with SplitMix64. Deterministic across platforms and runs — the only
+//! property the workspace relies on (dataset generation, k-means seeding, MLP
+//! initialisation, simulated-LLM noise). The stream is *not* byte-compatible
+//! with the upstream crate; all seeds in this repository are self-consistent.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds, 64-bit block counter.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key (8 words) + nonce (2 words) retained to rebuild each block.
+    key: [u32; 8],
+    nonce: [u32; 2],
+    counter: u64,
+    /// Buffered keystream block and read position.
+    block: [u32; 16],
+    pos: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [0; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.nonce[0];
+        state[15] = self.nonce[1];
+        let initial = state;
+        for _ in 0..4 {
+            // One double round = column round + diagonal round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, init) in state.iter_mut().zip(initial.iter()) {
+            *out = out.wrapping_add(*init);
+        }
+        self.block = state;
+        self.pos = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let word = splitmix64(&mut sm);
+            pair[0] = word as u32;
+            if pair.len() > 1 {
+                pair[1] = (word >> 32) as u32;
+            }
+        }
+        let nonce_word = splitmix64(&mut sm);
+        let mut rng = Self {
+            key,
+            nonce: [nonce_word as u32, (nonce_word >> 32) as u32],
+            counter: 0,
+            block: [0; 16],
+            pos: 16,
+        };
+        rng.refill();
+        rng.pos = 0;
+        rng.counter = 1;
+        rng
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.pos >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.pos];
+        self.pos += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn roughly_uniform_bits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut ones = 0u32;
+        for _ in 0..1000 {
+            ones += rng.next_u32().count_ones();
+        }
+        // 32,000 bits; expect ~16,000 ones.
+        assert!((14_500..17_500).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn gen_range_covers_domain() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

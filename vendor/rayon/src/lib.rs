@@ -1,0 +1,219 @@
+//! Offline stand-in for `rayon`: a minimal data-parallel iterator API backed
+//! by `std::thread::scope`.
+//!
+//! Only the surface the workspace uses is provided:
+//!
+//! * `(0..n).into_par_iter().map(f).collect::<Vec<_>>()`
+//! * `vec.into_par_iter()` / `slice.par_iter()`
+//! * `slice.par_chunks_mut(n)` (used by the zero-copy feature assembly)
+//! * `enumerate`, `map`, `for_each`, `collect`
+//!
+//! Work is split into one contiguous chunk per available core and executed on
+//! scoped threads, preserving input order in the output. Closures must be
+//! `Sync` (shared by reference across workers), mirroring rayon's bounds, so
+//! call sites stay source-compatible with the real crate.
+
+use std::ops::Range;
+use std::thread;
+
+/// Number of worker threads to use (available parallelism, at least 1).
+fn n_workers() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `items` on scoped worker threads, preserving order.
+fn run_par_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = n_workers().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Split into `workers` contiguous chunks (first chunks one longer when the
+    // division is uneven) so output order can be restored by concatenation.
+    let base = n / workers;
+    let extra = n % workers;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items.into_iter();
+    for w in 0..workers {
+        let take = base + usize::from(w < extra);
+        chunks.push(items.by_ref().take(take).collect());
+    }
+    thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// An eagerly materialised parallel iterator.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Lazily maps each item; executed in parallel by `collect`/`for_each`.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParMap<T, U, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Applies `f` to every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_par_map(self.items, &|item| f(item));
+    }
+
+    /// Collects the items (already materialised) into `C`.
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        C::from_par_vec(self.items)
+    }
+}
+
+/// The result of [`ParIter::map`]: items plus the pending mapping.
+pub struct ParMap<T: Send, U: Send, F: Fn(T) -> U + Sync> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParMap<T, U, F> {
+    /// Runs the map in parallel and collects into `C`.
+    pub fn collect<C: FromParallelIterator<U>>(self) -> C {
+        C::from_par_vec(run_par_map(self.items, &self.f))
+    }
+
+    /// Runs the map in parallel, discarding results.
+    pub fn for_each<G: Fn(U) + Sync>(self, g: G) {
+        let f = &self.f;
+        run_par_map(self.items, &|item| g(f(item)));
+    }
+}
+
+/// Collection types a parallel iterator can collect into.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from the ordered result vector.
+    fn from_par_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Converts into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_iter` over shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint mutable chunks of length `chunk_size`
+    /// (the final chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size.max(1)).collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = vec![1u32, 2, 3, 4];
+        let out: Vec<u32> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn chunks_mut_are_disjoint_and_ordered() {
+        let mut data = vec![0usize; 10];
+        data.par_chunks_mut(3).enumerate().for_each(|(ci, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = ci;
+            }
+        });
+        assert_eq!(data, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Provides the `Serialize` / `Deserialize` names (marker traits plus no-op
+//! derive macros) so the workspace's `#[derive(Serialize, Deserialize)]`
+//! annotations compile without the real dependency. No serialisation behaviour
+//! is implemented — none of the workspace code performs serde-based I/O.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching the name of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait matching the name of `serde::Deserialize`.
+pub trait Deserialize<'de> {}

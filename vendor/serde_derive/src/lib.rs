@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace is built offline, so the real `serde_derive` cannot be
+//! fetched. Nothing in the workspace actually serialises data through serde
+//! (JSON emission is hand-rolled in `zeroed-bench`), so the derives only need
+//! to exist, not to generate impls.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
