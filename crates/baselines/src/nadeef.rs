@@ -7,6 +7,15 @@
 //! functional-dependency violation (its dependent value disagrees with the
 //! majority value for the same determinant) or fails its column's format
 //! pattern.
+//!
+//! FD lookups run over the shared [`zeroed_table::TableDict`]: determinant /
+//! dependent pairs are counted as `(u32, u32)` code pairs and format patterns
+//! are evaluated once per *distinct* value, instead of the seed's per-row
+//! string-keyed nested hash maps. [`Nadeef::detect_reference`] keeps the seed
+//! per-cell path as the correctness oracle. Majority ties are broken
+//! deterministically (highest count, then greatest value string) on both
+//! paths — the seed picked whichever entry its hash map yielded first, which
+//! was not stable across processes.
 
 use crate::{Baseline, BaselineInput};
 use std::collections::HashMap;
@@ -48,14 +57,11 @@ impl Nadeef {
             max_patterns: usize::MAX,
         }
     }
-}
 
-impl Baseline for Nadeef {
-    fn name(&self) -> &'static str {
-        "NADEEF"
-    }
-
-    fn detect(&self, input: &BaselineInput<'_>) -> ErrorMask {
+    /// The seed per-cell implementation over string-keyed maps, kept as the
+    /// correctness oracle for the interned fast path (with the majority
+    /// tie-break pinned to the same deterministic order).
+    pub fn detect_reference(&self, input: &BaselineInput<'_>) -> ErrorMask {
         let table = input.dirty;
         let metadata = input.metadata;
         let mut mask = ErrorMask::for_table(table);
@@ -86,7 +92,7 @@ impl Baseline for Nadeef {
                 .map(|(d, dist)| {
                     let best = dist
                         .iter()
-                        .max_by_key(|(_, &c)| c)
+                        .max_by_key(|(v, &c)| (c, **v))
                         .map(|(v, _)| *v)
                         .unwrap_or_default();
                     (*d, best)
@@ -110,6 +116,83 @@ impl Baseline for Nadeef {
                 for (row_idx, row) in table.rows().iter().enumerate() {
                     if !pattern.kind.matches(&row[col]) {
                         mask.set(row_idx, col, true);
+                    }
+                }
+            }
+        }
+        mask
+    }
+}
+
+impl Baseline for Nadeef {
+    fn name(&self) -> &'static str {
+        "NADEEF"
+    }
+
+    fn detect(&self, input: &BaselineInput<'_>) -> ErrorMask {
+        let table = input.dirty;
+        let metadata = input.metadata;
+        let mut mask = ErrorMask::for_table(table);
+        if table.n_rows() == 0 {
+            return mask;
+        }
+        let dict = table.intern();
+
+        // Functional-dependency violations over interned code pairs.
+        for fd in metadata.fds.iter().take(self.max_fds) {
+            let (Some(det), Some(dep)) = (
+                table.column_index(&fd.determinant),
+                table.column_index(&fd.dependent),
+            ) else {
+                continue;
+            };
+            let det_dict = dict.column(det);
+            let dep_dict = dict.column(dep);
+            // Count (determinant code, dependent code) co-occurrences.
+            let mut pair_counts: HashMap<(u32, u32), u32> = HashMap::new();
+            for row in 0..table.n_rows() {
+                *pair_counts
+                    .entry((det_dict.code(row), dep_dict.code(row)))
+                    .or_insert(0) += 1;
+            }
+            // Majority dependent code per determinant code, counting variants
+            // so single-valued groups are skipped like the reference does.
+            // Ties break on (count, value string), matching the oracle path.
+            let mut majority: HashMap<u32, (u32, u32, u32)> = HashMap::new(); // det → (count, dep, variants)
+            for (&(d, p), &count) in &pair_counts {
+                let entry = majority.entry(d).or_insert((0, p, 0));
+                entry.2 += 1;
+                let better = count > entry.0
+                    || (count == entry.0 && dep_dict.value(p) > dep_dict.value(entry.1));
+                if entry.0 == 0 || better {
+                    entry.0 = count;
+                    entry.1 = p;
+                }
+            }
+            for row in 0..table.n_rows() {
+                if let Some(&(_, best, variants)) = majority.get(&det_dict.code(row)) {
+                    if variants > 1 && dep_dict.code(row) != best {
+                        mask.set(row, dep, true);
+                    }
+                }
+            }
+        }
+
+        // Format pattern violations, evaluated once per distinct value.
+        if !self.fds_only {
+            for pattern in metadata.patterns.iter().take(self.max_patterns) {
+                let Some(col) = table.column_index(&pattern.column) else {
+                    continue;
+                };
+                let col_dict = dict.column(col);
+                let violating: Vec<bool> = col_dict
+                    .values()
+                    .iter()
+                    .map(|v| !pattern.kind.matches(v))
+                    .collect();
+                for (row, &code) in col_dict.codes().iter().enumerate() {
+                    if violating[code as usize] {
+                        mask.set(row, col, true);
                     }
                 }
             }
@@ -164,6 +247,24 @@ mod tests {
     }
 
     #[test]
+    fn interned_path_matches_the_reference() {
+        let (table, metadata) = fixture();
+        let input = BaselineInput {
+            dirty: &table,
+            metadata: &metadata,
+            labeled: &[],
+        };
+        for detector in [Nadeef::default(), Nadeef::with_all_rules()] {
+            assert_eq!(
+                detector.detect(&input),
+                detector.detect_reference(&input),
+                "{:?}",
+                detector
+            );
+        }
+    }
+
+    #[test]
     fn fds_only_mode_ignores_patterns() {
         let (table, metadata) = fixture();
         let input = BaselineInput {
@@ -214,5 +315,6 @@ mod tests {
             labeled: &[],
         };
         assert_eq!(Nadeef::default().detect(&input).error_count(), 0);
+        assert_eq!(Nadeef::default().detect_reference(&input).error_count(), 0);
     }
 }

@@ -1,0 +1,52 @@
+//! The interned dBoost / NADEEF fast paths must reproduce the seed per-cell
+//! reference implementations bit-for-bit on real generated benchmark data
+//! (duplicate-heavy columns, injected errors of all five types).
+
+use zeroed_baselines::{Baseline, BaselineInput, DBoost, Nadeef};
+use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
+
+fn check_dataset(spec: DatasetSpec, rows: usize, seed: u64) {
+    let ds = generate(
+        spec,
+        &GenerateOptions {
+            n_rows: rows,
+            seed,
+            error_spec: None,
+        },
+    );
+    let input = BaselineInput {
+        dirty: &ds.dirty,
+        metadata: &ds.metadata,
+        labeled: &[],
+    };
+
+    let dboost = DBoost::default();
+    assert_eq!(
+        dboost.detect(&input),
+        dboost.detect_reference(&input),
+        "dBoost mismatch on {}",
+        spec.name()
+    );
+
+    for nadeef in [Nadeef::default(), Nadeef::with_all_rules()] {
+        assert_eq!(
+            nadeef.detect(&input),
+            nadeef.detect_reference(&input),
+            "NADEEF ({}/{} rules) mismatch on {}",
+            nadeef.max_fds,
+            nadeef.max_patterns,
+            spec.name()
+        );
+    }
+}
+
+#[test]
+fn dboost_and_nadeef_interned_paths_match_reference_on_benchmarks() {
+    for (spec, seed) in [
+        (DatasetSpec::Hospital, 7),
+        (DatasetSpec::Flights, 11),
+        (DatasetSpec::Beers, 23),
+    ] {
+        check_dataset(spec, 1_500, seed);
+    }
+}

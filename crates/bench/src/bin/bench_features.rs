@@ -5,7 +5,10 @@
 //! generators at 1k/10k/50k rows, once through the interned fast path and once
 //! through `zeroed_features::reference::build_all_reference` (the seed
 //! per-cell implementation, kept as the correctness oracle), plus an
-//! end-to-end `ZeroEd::detect` wall-time per dataset at 1k rows. Results are
+//! end-to-end `ZeroEd::detect` wall-time per dataset at 1k rows, plus the
+//! interned-vs-reference wall-times of the dBoost and NADEEF baselines
+//! (whose histograms and FD lookups consume the shared `TableDict` /
+//! code-keyed `FrequencyModel` since the runtime PR). Results are
 //! written to `BENCH_features.json` (override with `--out PATH`; `--quick`
 //! caps the sweep at 10k rows for CI smoke runs) so successive PRs can track
 //! the perf trajectory.
@@ -16,6 +19,7 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
+use zeroed_baselines::{Baseline, BaselineInput, DBoost, Nadeef};
 use zeroed_core::{ZeroEd, ZeroEdConfig};
 use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
 use zeroed_features::reference::build_all_reference;
@@ -36,6 +40,14 @@ struct PipelineResult {
     dataset: &'static str,
     rows: usize,
     wall_ms: f64,
+}
+
+struct BaselineResult {
+    method: &'static str,
+    dataset: &'static str,
+    rows: usize,
+    interned_ms: f64,
+    reference_ms: f64,
 }
 
 fn ms(start: Instant) -> f64 {
@@ -117,6 +129,65 @@ fn bench_pipeline(spec: DatasetSpec, name: &'static str, rows: usize) -> Pipelin
     }
 }
 
+fn bench_baselines(spec: DatasetSpec, name: &'static str, rows: usize) -> Vec<BaselineResult> {
+    let ds = generate(
+        spec,
+        &GenerateOptions {
+            n_rows: rows,
+            seed: 7,
+            error_spec: None,
+        },
+    );
+    let input = BaselineInput {
+        dirty: &ds.dirty,
+        metadata: &ds.metadata,
+        labeled: &[],
+    };
+    let dboost = DBoost::default();
+    let nadeef = Nadeef::with_all_rules();
+    let mut out = Vec::new();
+    // Both sides get the identical protocol — one untimed warm-up run, then
+    // best-of-two timed runs — so one-time allocator/page-fault effects bias
+    // neither, and equivalence is asserted as we go.
+    let time_side = |side: &dyn Fn() -> zeroed_table::ErrorMask| {
+        let warm = side();
+        let mut best_ms = f64::INFINITY;
+        for _ in 0..2 {
+            let t = Instant::now();
+            let mask = side();
+            best_ms = best_ms.min(ms(t));
+            assert_eq!(mask, warm);
+        }
+        (warm, best_ms)
+    };
+    let time_pair = |fast: &dyn Fn() -> zeroed_table::ErrorMask,
+                     slow: &dyn Fn() -> zeroed_table::ErrorMask| {
+        let (fast_mask, fast_ms) = time_side(fast);
+        let (slow_mask, slow_ms) = time_side(slow);
+        assert_eq!(slow_mask, fast_mask, "interned baseline diverged from reference");
+        (fast_ms, slow_ms)
+    };
+    let (interned_ms, reference_ms) =
+        time_pair(&|| dboost.detect(&input), &|| dboost.detect_reference(&input));
+    out.push(BaselineResult {
+        method: "dBoost",
+        dataset: name,
+        rows,
+        interned_ms,
+        reference_ms,
+    });
+    let (interned_ms, reference_ms) =
+        time_pair(&|| nadeef.detect(&input), &|| nadeef.detect_reference(&input));
+    out.push(BaselineResult {
+        method: "NADEEF",
+        dataset: name,
+        rows,
+        interned_ms,
+        reference_ms,
+    });
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_features.json".to_string();
@@ -170,6 +241,22 @@ fn main() {
         pipeline.push(r);
     }
 
+    let baseline_rows = *sizes.last().unwrap();
+    let mut baselines = Vec::new();
+    for &(spec, name) in &specs {
+        eprintln!("baselines {name} @ {baseline_rows} rows ...");
+        for r in bench_baselines(spec, name, baseline_rows) {
+            eprintln!(
+                "  {} interned {:.1} ms | reference {:.1} ms | speedup {:.1}x",
+                r.method,
+                r.interned_ms,
+                r.reference_ms,
+                r.reference_ms / r.interned_ms.max(1e-9),
+            );
+            baselines.push(r);
+        }
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(
@@ -198,6 +285,22 @@ fn main() {
             r.reference_build_ms / r.fast_build_ms.max(1e-9),
         );
         json.push_str(if i + 1 < features.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"baselines_interning\": [\n");
+    for (i, r) in baselines.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"method\": \"{}\", \"dataset\": \"{}\", \"rows\": {}, \
+             \"interned_ms\": {:.2}, \"reference_ms\": {:.2}, \"speedup\": {:.2}}}",
+            r.method,
+            r.dataset,
+            r.rows,
+            r.interned_ms,
+            r.reference_ms,
+            r.reference_ms / r.interned_ms.max(1e-9),
+        );
+        json.push_str(if i + 1 < baselines.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
     json.push_str("  \"pipeline_detect\": [\n");

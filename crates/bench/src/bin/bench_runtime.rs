@@ -1,0 +1,249 @@
+//! `BENCH_runtime.json` emitter: LLM-orchestration wall-times for the three
+//! runtime execution modes.
+//!
+//! Runs full `ZeroEd::detect` sweeps on the hospital and flights generators
+//! (50k rows by default; `--quick` drops to 5k for CI smoke runs) with the
+//! simulated serving-latency model enabled, through:
+//!
+//! 1. **sequential** — the seed path: every LLM call blocks the pipeline;
+//! 2. **concurrent** — per-attribute fan-out on the `zeroed-runtime`
+//!    scheduler, no cache;
+//! 3. **concurrent+cache (cold)** — same, with the request-dedup cache on;
+//! 4. **concurrent+cache (warm)** — a second detection against the same
+//!    detector: every request replays from the cache (the re-run /
+//!    repeated-workload scenario).
+//!
+//! The worker budget is fixed (default 16, `--workers N`) rather than derived
+//! from host cores: LLM calls are latency-bound, not CPU-bound, so the pool
+//! models a request-concurrency budget against a serving backend — sleeps
+//! overlap regardless of core count. The headline metric is the *LLM-stage*
+//! wall-time (labelling + training-data construction, the two stages whose
+//! wall-clock is dominated by model calls); totals and the serial model cost
+//! (`TokenLedger::sim_cost`) are reported alongside. Every mode must produce
+//! a bit-identical mask — the emitter asserts it before writing the ledger.
+//!
+//! ```text
+//! cargo run --release -p zeroed-bench --bin bench_runtime
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use zeroed_core::{DetectionOutcome, RuntimeConfig, ZeroEd, ZeroEdConfig};
+use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
+use zeroed_llm::{LlmClient, LlmProfile};
+
+const LATENCY_SCALE: f64 = 1.0;
+
+struct ModeResult {
+    label: &'static str,
+    total_ms: f64,
+    llm_stage_ms: f64,
+    requests: usize,
+    tokens: usize,
+    sim_cost_ms: f64,
+    cache_hits: usize,
+    cache_misses: usize,
+    tokens_saved: usize,
+    outcome: DetectionOutcome,
+}
+
+fn run_mode(
+    label: &'static str,
+    detector: &ZeroEd,
+    ds: &zeroed_datagen::GeneratedDataset,
+    seed: u64,
+) -> ModeResult {
+    let llm = zeroed_bench::simulated_llm(ds, LlmProfile::qwen_72b(), seed)
+        .with_latency_scale(LATENCY_SCALE);
+    let t = Instant::now();
+    let outcome = detector.detect(&ds.dirty, &llm);
+    let total_ms = t.elapsed().as_secs_f64() * 1e3;
+    let usage = llm.ledger().usage();
+    let timings = &outcome.timings;
+    ModeResult {
+        label,
+        total_ms,
+        llm_stage_ms: (timings.labeling + timings.training_data).as_secs_f64() * 1e3,
+        requests: usage.requests,
+        tokens: usage.total(),
+        sim_cost_ms: llm.ledger().sim_cost().as_secs_f64() * 1e3,
+        cache_hits: outcome.stats.cache_hits,
+        cache_misses: outcome.stats.cache_misses,
+        tokens_saved: outcome.stats.cache_tokens_saved,
+        outcome,
+    }
+}
+
+fn json_mode(json: &mut String, r: &ModeResult, last: bool) {
+    let _ = write!(
+        json,
+        "      {{\"mode\": \"{}\", \"total_ms\": {:.1}, \"llm_stage_ms\": {:.1}, \
+         \"requests\": {}, \"tokens\": {}, \"llm_serial_cost_ms\": {:.1}, \
+         \"cache_hits\": {}, \"cache_misses\": {}, \"cache_tokens_saved\": {}}}",
+        r.label,
+        r.total_ms,
+        r.llm_stage_ms,
+        r.requests,
+        r.tokens,
+        r.sim_cost_ms,
+        r.cache_hits,
+        r.cache_misses,
+        r.tokens_saved,
+    );
+    json.push_str(if last { "\n" } else { ",\n" });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_runtime.json".to_string();
+    let mut rows = 50_000usize;
+    let mut workers = 16usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                if let Some(p) = args.get(i + 1) {
+                    out_path = p.clone();
+                    i += 1;
+                }
+            }
+            "--rows" => {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    rows = v;
+                    i += 1;
+                }
+            }
+            "--workers" => {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    workers = v;
+                    i += 1;
+                }
+            }
+            "--quick" => rows = 5_000,
+            _ => {}
+        }
+        i += 1;
+    }
+
+    let specs = [
+        (DatasetSpec::Hospital, "hospital"),
+        (DatasetSpec::Flights, "flights"),
+    ];
+    let concurrent = RuntimeConfig {
+        workers,
+        ..RuntimeConfig::concurrent_uncached()
+    };
+    let cached = RuntimeConfig {
+        workers,
+        ..RuntimeConfig::default()
+    };
+
+    let mut blocks: Vec<String> = Vec::new();
+    let mut all_speedups_ok = true;
+    for &(spec, name) in &specs {
+        eprintln!("generating {name} @ {rows} rows ...");
+        let ds = generate(
+            spec,
+            &GenerateOptions {
+                n_rows: rows,
+                seed: 7,
+                error_spec: None,
+            },
+        );
+        let config = ZeroEdConfig::fast();
+
+        eprintln!("  sequential ...");
+        let seq_detector = ZeroEd::new(config.clone().sequential_runtime());
+        let seq = run_mode("sequential", &seq_detector, &ds, 1);
+
+        eprintln!("  concurrent ({workers} workers) ...");
+        let conc_detector = ZeroEd::new(config.clone().with_runtime(concurrent.clone()));
+        let conc = run_mode("concurrent", &conc_detector, &ds, 1);
+
+        eprintln!("  concurrent+cache cold ...");
+        let cached_detector = ZeroEd::new(config.clone().with_runtime(cached.clone()));
+        let cold = run_mode("concurrent_cached_cold", &cached_detector, &ds, 1);
+
+        eprintln!("  concurrent+cache warm (re-run) ...");
+        let warm = run_mode("concurrent_cached_warm", &cached_detector, &ds, 1);
+
+        // Scheduling and caching must never change the detection result.
+        assert_eq!(seq.outcome.mask, conc.outcome.mask, "{name}: concurrent mask diverged");
+        assert_eq!(seq.outcome.mask, cold.outcome.mask, "{name}: cached mask diverged");
+        assert_eq!(seq.outcome.mask, warm.outcome.mask, "{name}: warm mask diverged");
+        assert_eq!(warm.requests, 0, "{name}: warm run must not call the model");
+
+        let speedup_concurrent = seq.llm_stage_ms / conc.llm_stage_ms.max(1e-9);
+        let speedup_cached = seq.llm_stage_ms / cold.llm_stage_ms.max(1e-9);
+        let speedup_warm = seq.llm_stage_ms / warm.llm_stage_ms.max(1e-9);
+        eprintln!(
+            "  llm-stage: seq {:.0} ms | conc {:.0} ms ({:.1}x) | cache cold {:.0} ms ({:.1}x) | \
+             cache warm {:.0} ms ({:.1}x, {} tokens saved)",
+            seq.llm_stage_ms,
+            conc.llm_stage_ms,
+            speedup_concurrent,
+            cold.llm_stage_ms,
+            speedup_cached,
+            warm.llm_stage_ms,
+            speedup_warm,
+            warm.tokens_saved,
+        );
+        if speedup_cached < 2.0 {
+            all_speedups_ok = false;
+        }
+
+        let mut block = String::new();
+        let _ = writeln!(
+            block,
+            "    {{\"dataset\": \"{}\", \"rows\": {}, \"cols\": {}, \"workers\": {},",
+            name,
+            ds.dirty.n_rows(),
+            ds.dirty.n_cols(),
+            workers,
+        );
+        let _ = writeln!(
+            block,
+            "     \"speedup_llm_stage_concurrent\": {speedup_concurrent:.2}, \
+             \"speedup_llm_stage_cached\": {speedup_cached:.2}, \
+             \"speedup_llm_stage_warm_rerun\": {speedup_warm:.2}, \
+             \"masks_identical\": true, \"modes\": ["
+        );
+        json_mode(&mut block, &seq, false);
+        json_mode(&mut block, &conc, false);
+        json_mode(&mut block, &cold, false);
+        json_mode(&mut block, &warm, true);
+        block.push_str("    ]}");
+        blocks.push(block);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"generated_by\": \"cargo run --release -p zeroed-bench --bin bench_runtime\",",
+    );
+    let _ = writeln!(
+        json,
+        "  \"host_cores\": {},",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    let _ = writeln!(
+        json,
+        "  \"latency_scale\": {LATENCY_SCALE}, \"llm_profile\": \"Qwen2.5-72b\",",
+    );
+    let _ = writeln!(
+        json,
+        "  \"llm_stage\": \"labeling + training_data (the model-call-dominated pipeline steps)\","
+    );
+    json.push_str("  \"runs\": [\n");
+    json.push_str(&blocks.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+    assert!(
+        all_speedups_ok,
+        "concurrent+cache must be at least 2x faster than sequential on the LLM stages"
+    );
+}

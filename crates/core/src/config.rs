@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 use zeroed_cluster::SamplingMethod;
 use zeroed_ml::MlpConfig;
+use zeroed_runtime::RuntimeConfig;
 
 /// Configuration of the ZeroED pipeline.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -49,6 +50,11 @@ pub struct ZeroEdConfig {
     pub use_verification: bool,
     /// Master seed for clustering, the detector and tie-breaking.
     pub seed: u64,
+    /// LLM orchestration runtime: execution mode (concurrent by default,
+    /// sequential as the correctness oracle), worker pool sizing and the
+    /// request-dedup response cache. Scheduling never changes the detection
+    /// result — concurrent runs are bit-identical to sequential ones.
+    pub runtime: RuntimeConfig,
 }
 
 /// Serialisable mirror of [`SamplingMethod`].
@@ -90,6 +96,7 @@ impl Default for ZeroEdConfig {
             use_corr: true,
             use_verification: true,
             seed: 42,
+            runtime: RuntimeConfig::default(),
         }
     }
 }
@@ -133,6 +140,19 @@ impl ZeroEdConfig {
     /// The "w/o Veri." ablation of Table IV.
     pub fn without_verification(mut self) -> Self {
         self.use_verification = false;
+        self
+    }
+
+    /// Runs the pipeline on the sequential oracle path (no scheduler, no
+    /// cache) — the seed behaviour concurrent runs are verified against.
+    pub fn sequential_runtime(mut self) -> Self {
+        self.runtime = RuntimeConfig::sequential();
+        self
+    }
+
+    /// Replaces the runtime configuration.
+    pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
         self
     }
 
@@ -185,6 +205,22 @@ mod tests {
         assert_eq!(c.clusters_for(1_000_000), 400);
         let fast = ZeroEdConfig::fast();
         assert_eq!(fast.clusters_for(10_000), 60);
+    }
+
+    #[test]
+    fn runtime_defaults_and_builders() {
+        use zeroed_runtime::ExecMode;
+        let c = ZeroEdConfig::default();
+        assert_eq!(c.runtime.mode, ExecMode::Concurrent);
+        assert!(c.runtime.cache);
+        let seq = ZeroEdConfig::default().sequential_runtime();
+        assert_eq!(seq.runtime.mode, ExecMode::Sequential);
+        assert!(!seq.runtime.cache);
+        let custom = ZeroEdConfig::default().with_runtime(zeroed_runtime::RuntimeConfig {
+            workers: 4,
+            ..zeroed_runtime::RuntimeConfig::default()
+        });
+        assert_eq!(custom.runtime.effective_workers(), 4);
     }
 
     #[test]

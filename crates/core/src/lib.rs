@@ -51,3 +51,6 @@ pub mod report;
 pub use config::ZeroEdConfig;
 pub use pipeline::ZeroEd;
 pub use report::{DetectionOutcome, PipelineStats, StepTimings};
+// Re-export the runtime configuration types so callers can tune execution
+// without a separate `zeroed-runtime` dependency.
+pub use zeroed_runtime::{ExecMode, RuntimeConfig};

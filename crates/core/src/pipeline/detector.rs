@@ -4,6 +4,10 @@
 //! (propagated clean rows, propagated error rows, and LLM-augmented error
 //! examples) and then classifies every cell of the attribute. Features are
 //! standardised per attribute before training.
+//!
+//! [`train_and_predict`] is free of cross-attribute state and seeds its MLP
+//! from `(config seed, column)` alone, so the concurrent runtime path fans it
+//! out per attribute with bit-identical predictions to the sequential loop.
 
 use super::training_data::ColumnTrainingData;
 use crate::config::ZeroEdConfig;

@@ -64,6 +64,30 @@ pub fn generate_criteria(
         .collect()
 }
 
+/// [`generate_criteria`] fanned out over the runtime scheduler: one task per
+/// attribute, results in column order (bit-identical to the serial loop).
+pub fn generate_criteria_on(
+    scheduler: &zeroed_runtime::Scheduler,
+    table: &Table,
+    correlated: &[Vec<usize>],
+    config: &ZeroEdConfig,
+    llm: &dyn LlmClient,
+) -> Vec<Option<CriteriaSet>> {
+    if !config.use_criteria {
+        return vec![None; table.n_cols()];
+    }
+    let samples = prompt_sample_rows(table.n_rows());
+    scheduler.run(table.n_cols(), |j| {
+        let ctx = AttributeContext {
+            table,
+            column: j,
+            correlated: &correlated[j],
+            sample_rows: &samples,
+        };
+        Some(llm.generate_criteria(&ctx))
+    })
+}
+
 /// Evaluates every column's criteria over the full table, producing the
 /// per-column extra feature blocks for the feature builder. Columns without
 /// criteria get an empty block.
@@ -75,6 +99,19 @@ pub fn criteria_extra(criteria: &[Option<CriteriaSet>], table: &Table) -> Vec<Ve
             _ => Vec::new(),
         })
         .collect()
+}
+
+/// [`criteria_extra`] fanned out over the runtime scheduler (criteria
+/// evaluation is CPU-bound and embarrassingly parallel per column).
+pub fn criteria_extra_on(
+    scheduler: &zeroed_runtime::Scheduler,
+    criteria: &[Option<CriteriaSet>],
+    table: &Table,
+) -> Vec<Vec<Vec<f32>>> {
+    scheduler.run(criteria.len(), |j| match &criteria[j] {
+        Some(set) if !set.is_empty() => criteria_features(set, table),
+        _ => Vec::new(),
+    })
 }
 
 #[cfg(test)]

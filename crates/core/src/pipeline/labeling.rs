@@ -1,8 +1,27 @@
 //! Step 3 — guideline generation and holistic LLM labelling (paper §III-C).
+//!
+//! On the concurrent runtime path each attribute's chain (distribution
+//! analysis → guideline → label batches) runs as one scheduler task, so the
+//! calls below stay ordered within the attribute while attributes proceed in
+//! parallel.
 
 use crate::config::ZeroEdConfig;
 use std::collections::HashMap;
 use zeroed_llm::{AttributeContext, LlmClient};
+
+/// The labels of one attribute's representatives plus the bookkeeping of any
+/// short labelling responses that were repaired.
+#[derive(Debug, Clone, Default)]
+pub struct LabelOutcome {
+    /// `row index → is_error` for every representative.
+    pub labels: HashMap<usize, bool>,
+    /// Representatives relabelled one-by-one because their batch returned
+    /// fewer labels than requested.
+    pub fallback_cells: usize,
+    /// Representatives defaulted to clean because even the individual
+    /// relabelling returned no label.
+    pub defaulted_cells: usize,
+}
 
 /// Labels the representative cells of one attribute.
 ///
@@ -13,16 +32,22 @@ use zeroed_llm::{AttributeContext, LlmClient};
 /// every labelling prompt. Representatives are labelled in batches of
 /// `config.batch_size`.
 ///
-/// Returns a map `row index → is_error`.
+/// A model may answer a batch with fewer labels than it was asked for (a
+/// truncated or malformed response). Those rows are never dropped silently:
+/// they are relabelled individually, and rows that still come back empty are
+/// recorded as defaulted-to-clean in the outcome's counters.
 pub fn label_representatives(
     ctx: &AttributeContext<'_>,
     config: &ZeroEdConfig,
     llm: &dyn LlmClient,
     representatives: &[usize],
-) -> HashMap<usize, bool> {
-    let mut labels = HashMap::with_capacity(representatives.len());
+) -> LabelOutcome {
+    let mut outcome = LabelOutcome {
+        labels: HashMap::with_capacity(representatives.len()),
+        ..LabelOutcome::default()
+    };
     if representatives.is_empty() {
-        return labels;
+        return outcome;
     }
     let guideline = if config.use_guidelines {
         let analysis = llm.analyze_distribution(ctx);
@@ -33,10 +58,24 @@ pub fn label_representatives(
     for batch in representatives.chunks(config.batch_size.max(1)) {
         let batch_labels = llm.label_batch(ctx, guideline.as_ref(), batch);
         for (&row, &is_error) in batch.iter().zip(batch_labels.iter()) {
-            labels.insert(row, is_error);
+            outcome.labels.insert(row, is_error);
+        }
+        // Short response: the zip above consumed the answered prefix; repair
+        // the unanswered suffix row by row.
+        for &row in batch.iter().skip(batch_labels.len()) {
+            outcome.fallback_cells += 1;
+            match llm.label_batch(ctx, guideline.as_ref(), &[row]).first() {
+                Some(&is_error) => {
+                    outcome.labels.insert(row, is_error);
+                }
+                None => {
+                    outcome.defaulted_cells += 1;
+                    outcome.labels.insert(row, false);
+                }
+            }
         }
     }
-    labels
+    outcome
 }
 
 #[cfg(test)]
@@ -70,11 +109,13 @@ mod tests {
             sample_rows: &reps,
         };
         let config = ZeroEdConfig::fast();
-        let labels = label_representatives(&ctx, &config, &llm, &reps);
-        assert_eq!(labels.len(), 30);
+        let outcome = label_representatives(&ctx, &config, &llm, &reps);
+        assert_eq!(outcome.labels.len(), 30);
         for row in 0..30 {
-            assert!(labels.contains_key(&row));
+            assert!(outcome.labels.contains_key(&row));
         }
+        assert_eq!(outcome.fallback_cells, 0);
+        assert_eq!(outcome.defaulted_cells, 0);
     }
 
     #[test]
@@ -121,8 +162,8 @@ mod tests {
             batch_size: 20,
             ..ZeroEdConfig::fast().without_guidelines()
         };
-        let labels = label_representatives(&ctx, &config, &llm, &reps);
-        assert_eq!(labels.len(), 45);
+        let outcome = label_representatives(&ctx, &config, &llm, &reps);
+        assert_eq!(outcome.labels.len(), 45);
         // ceil(45 / 20) = 3 labelling requests.
         assert_eq!(llm.ledger().usage().requests, 3);
     }
@@ -137,7 +178,109 @@ mod tests {
             correlated: &corr,
             sample_rows: &[],
         };
-        let labels = label_representatives(&ctx, &ZeroEdConfig::fast(), &llm, &[]);
-        assert!(labels.is_empty());
+        let outcome = label_representatives(&ctx, &ZeroEdConfig::fast(), &llm, &[]);
+        assert!(outcome.labels.is_empty());
+    }
+
+    /// An [`LlmClient`] whose batch answers are truncated: full batches get
+    /// only `keep` labels back, single-row repair requests answer normally,
+    /// except rows in `mute` which never get an answer at all.
+    struct TruncatingLlm {
+        inner: SimLlm,
+        keep: usize,
+        mute: Vec<usize>,
+    }
+
+    impl LlmClient for TruncatingLlm {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn ledger(&self) -> &zeroed_llm::TokenLedger {
+            self.inner.ledger()
+        }
+        fn generate_criteria(&self, ctx: &AttributeContext<'_>) -> zeroed_criteria::CriteriaSet {
+            self.inner.generate_criteria(ctx)
+        }
+        fn analyze_distribution(&self, ctx: &AttributeContext<'_>) -> zeroed_llm::DistributionAnalysis {
+            self.inner.analyze_distribution(ctx)
+        }
+        fn generate_guideline(
+            &self,
+            ctx: &AttributeContext<'_>,
+            analysis: &zeroed_llm::DistributionAnalysis,
+        ) -> zeroed_llm::Guideline {
+            self.inner.generate_guideline(ctx, analysis)
+        }
+        fn label_batch(
+            &self,
+            ctx: &AttributeContext<'_>,
+            guideline: Option<&zeroed_llm::Guideline>,
+            rows: &[usize],
+        ) -> Vec<bool> {
+            if rows.len() == 1 && self.mute.contains(&rows[0]) {
+                return Vec::new();
+            }
+            let mut labels = self.inner.label_batch(ctx, guideline, rows);
+            if rows.len() > 1 {
+                labels.truncate(self.keep);
+            }
+            labels
+        }
+        fn refine_criteria(
+            &self,
+            ctx: &AttributeContext<'_>,
+            clean: &[String],
+            error: &[String],
+            existing: &zeroed_criteria::CriteriaSet,
+        ) -> zeroed_criteria::CriteriaSet {
+            self.inner.refine_criteria(ctx, clean, error, existing)
+        }
+        fn augment_errors(
+            &self,
+            ctx: &AttributeContext<'_>,
+            clean: &[String],
+            count: usize,
+        ) -> Vec<String> {
+            self.inner.augment_errors(ctx, clean, count)
+        }
+        fn detect_tuple(&self, table: &zeroed_table::Table, row: usize) -> Vec<bool> {
+            self.inner.detect_tuple(table, row)
+        }
+    }
+
+    #[test]
+    fn truncated_batches_are_repaired_row_by_row() {
+        let (ds, _) = fixture();
+        let llm = TruncatingLlm {
+            inner: SimLlm::default_model(2).with_oracle(ds.mask.clone()),
+            keep: 6,
+            mute: vec![8],
+        };
+        let corr: Vec<usize> = vec![];
+        let reps: Vec<usize> = (0..10).collect();
+        let ctx = AttributeContext {
+            table: &ds.dirty,
+            column: 1,
+            correlated: &corr,
+            sample_rows: &reps,
+        };
+        let config = ZeroEdConfig {
+            batch_size: 10,
+            ..ZeroEdConfig::fast().without_guidelines()
+        };
+        let outcome = label_representatives(&ctx, &config, &llm, &reps);
+        // Every representative is labelled despite the truncated batch.
+        assert_eq!(outcome.labels.len(), 10);
+        for row in 0..10 {
+            assert!(outcome.labels.contains_key(&row), "row {row} lost");
+        }
+        // Rows 6..10 fell back to individual labelling; row 8 never answered
+        // and defaulted to clean.
+        assert_eq!(outcome.fallback_cells, 4);
+        assert_eq!(outcome.defaulted_cells, 1);
+        assert_eq!(outcome.labels[&8], false);
+        // The repaired labels agree with what the model answers individually.
+        let single = llm.label_batch(&ctx, None, &[7]);
+        assert_eq!(outcome.labels[&7], single[0]);
     }
 }

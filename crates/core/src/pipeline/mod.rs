@@ -1,4 +1,22 @@
 //! The four-step ZeroED pipeline.
+//!
+//! Since the orchestration-runtime refactor the pipeline has two execution
+//! paths selected by [`ZeroEdConfig::runtime`]:
+//!
+//! * **Concurrent** (default) — per-attribute work is fanned out across the
+//!   [`zeroed_runtime::Scheduler`] worker pool. Each attribute's LLM stage
+//!   chain (distribution analysis → guideline → label batches, then
+//!   refinement → augmentation) runs as one task, preserving stage order
+//!   within the attribute while attributes proceed in parallel. When the
+//!   request cache is enabled, the [`zeroed_llm::LlmClient`] is wrapped in a
+//!   [`zeroed_runtime::CachedLlm`], so identical requests (retries, re-runs
+//!   of the same detection) replay stored responses instead of calling the
+//!   model.
+//! * **Sequential** — the seed behaviour: plain loops on the calling thread,
+//!   no scheduler, no cache. Kept as the correctness oracle; the concurrent
+//!   path must produce a bit-identical [`ErrorMask`] (asserted by the
+//!   `runtime_equivalence` integration tests), the same discipline
+//!   `zeroed_features::reference` established for the featuriser.
 
 pub mod detector;
 pub mod features;
@@ -12,6 +30,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use zeroed_features::{FeatureBuilder, FeatureConfig};
 use zeroed_llm::{AttributeContext, LlmClient};
+use zeroed_runtime::{CachedLlm, ExecMode, ResponseCache, Scheduler};
 use zeroed_table::{ErrorMask, Table};
 
 /// The ZeroED error detector.
@@ -20,15 +39,22 @@ use zeroed_table::{ErrorMask, Table};
 /// dirty table and an [`LlmClient`]. The detector never looks at ground truth;
 /// any oracle knowledge lives exclusively inside the (simulated) LLM client
 /// supplied by the caller.
+///
+/// The detector owns the runtime's response cache, which persists across
+/// [`ZeroEd::detect`] calls (and is shared by clones): re-running detection
+/// over the same table and model replays cached responses instead of paying
+/// for the LLM again.
 #[derive(Debug, Clone)]
 pub struct ZeroEd {
     config: ZeroEdConfig,
+    cache: Arc<ResponseCache>,
 }
 
 impl ZeroEd {
     /// Creates a detector with the given configuration.
     pub fn new(config: ZeroEdConfig) -> Self {
-        Self { config }
+        let cache = Arc::new(ResponseCache::new(config.runtime.cache_capacity));
+        Self { config, cache }
     }
 
     /// Creates a detector with the paper's default configuration.
@@ -41,9 +67,170 @@ impl ZeroEd {
         &self.config
     }
 
+    /// The runtime response cache (shared with clones of this detector).
+    pub fn cache(&self) -> &Arc<ResponseCache> {
+        &self.cache
+    }
+
     /// Runs the full pipeline on a dirty table and returns the predicted
     /// error mask together with timings and statistics.
     pub fn detect(&self, dirty: &Table, llm: &dyn LlmClient) -> DetectionOutcome {
+        match self.config.runtime.mode {
+            ExecMode::Sequential => self.detect_sequential(dirty, llm),
+            ExecMode::Concurrent if self.config.runtime.cache => {
+                let cached = CachedLlm::for_table(llm, Arc::clone(&self.cache), dirty);
+                let mut outcome = self.detect_concurrent(dirty, &cached);
+                // Per-adapter counters, not a delta of the shared cache's
+                // global stats: clones of this detector share the cache and
+                // may detect concurrently, and their activity must not leak
+                // into this run's accounting.
+                let stats = cached.stats();
+                outcome.stats.cache_hits = stats.hits as usize;
+                outcome.stats.cache_misses = stats.misses as usize;
+                outcome.stats.cache_coalesced = stats.coalesced as usize;
+                outcome.stats.cache_tokens_saved = stats.tokens_saved() as usize;
+                outcome
+            }
+            ExecMode::Concurrent => self.detect_concurrent(dirty, llm),
+        }
+    }
+
+    /// The concurrent path: per-attribute fan-out on the scheduler.
+    fn detect_concurrent(&self, dirty: &Table, llm: &dyn LlmClient) -> DetectionOutcome {
+        let config = &self.config;
+        let n_rows = dirty.n_rows();
+        let n_cols = dirty.n_cols();
+        let mut stats = PipelineStats::default();
+        let mut timings = StepTimings::default();
+
+        if n_rows == 0 || n_cols == 0 {
+            return DetectionOutcome {
+                mask: ErrorMask::for_table(dirty),
+                timings,
+                stats,
+            };
+        }
+
+        let scheduler = Scheduler::from_config(&config.runtime);
+
+        // ------------------------------------------------------------------
+        // Step 1 — feature representation with criteria reasoning (§III-B).
+        // ------------------------------------------------------------------
+        let t0 = Instant::now();
+        let dict = Arc::new(dirty.intern());
+        let correlated = features::compute_correlated_dict(&dict, config);
+        let criteria = features::generate_criteria_on(&scheduler, dirty, &correlated, config, llm);
+        let extra = features::criteria_extra_on(&scheduler, &criteria, dirty);
+        let feature_config = FeatureConfig {
+            embed_dim: config.embed_dim,
+            top_k_corr: config.effective_top_k(),
+            ..FeatureConfig::default()
+        };
+        let builder = FeatureBuilder::new(feature_config);
+        let fitted = builder.fit_prepared(dirty, dict, correlated.clone(), &extra);
+        let feats = fitted.build_all();
+        timings.features = t0.elapsed();
+
+        // ------------------------------------------------------------------
+        // Step 2 — representative sampling (§III-C).
+        // ------------------------------------------------------------------
+        let t1 = Instant::now();
+        let samplings: Vec<sampling::ColumnSampling> = scheduler.run(n_cols, |j| {
+            sampling::sample_column(
+                &feats.unified[j],
+                config.clusters_for(n_rows),
+                config.sampling.into(),
+                config.seed.wrapping_add(j as u64),
+                config.max_cluster_rows,
+            )
+        });
+        timings.sampling = t1.elapsed();
+
+        // ------------------------------------------------------------------
+        // Step 3 — holistic LLM labelling (§III-C). One task per attribute:
+        // analysis → guideline → label batches, ordered within the task.
+        // ------------------------------------------------------------------
+        let t2 = Instant::now();
+        let label_outcomes: Vec<labeling::LabelOutcome> = scheduler.run(n_cols, |j| {
+            let ctx = AttributeContext {
+                table: dirty,
+                column: j,
+                correlated: &correlated[j],
+                sample_rows: &samplings[j].representatives,
+            };
+            labeling::label_representatives(&ctx, config, llm, &samplings[j].representatives)
+        });
+        for outcome in &label_outcomes {
+            stats.llm_labeled_cells += outcome.labels.len();
+            stats.label_fallback_cells += outcome.fallback_cells;
+            stats.label_defaulted_cells += outcome.defaulted_cells;
+        }
+        timings.labeling = t2.elapsed();
+
+        // ------------------------------------------------------------------
+        // Step 4 — training-data construction (Algorithm 1). One task per
+        // attribute: propagation → refinement → verification → augmentation.
+        // ------------------------------------------------------------------
+        let t3 = Instant::now();
+        let training: Vec<training_data::ColumnTrainingData> = scheduler.run(n_cols, |j| {
+            let ctx = AttributeContext {
+                table: dirty,
+                column: j,
+                correlated: &correlated[j],
+                sample_rows: &samplings[j].representatives,
+            };
+            training_data::construct(
+                &ctx,
+                config,
+                llm,
+                &samplings[j],
+                &label_outcomes[j].labels,
+                criteria[j].clone(),
+            )
+        });
+        for data in &training {
+            stats.propagated_cells += data.propagated_cells;
+            stats.verified_clean_rows += data.clean_rows.len();
+            stats.error_rows += data.error_rows.len();
+            stats.augmented_rows += data.augmented.len();
+        }
+        stats.criteria_count = training
+            .iter()
+            .filter_map(|d| d.criteria.as_ref().map(|c| c.len()))
+            .sum();
+        timings.training_data = t3.elapsed();
+
+        // ------------------------------------------------------------------
+        // Step 5 — detector training and prediction (§III-D).
+        // ------------------------------------------------------------------
+        let t4 = Instant::now();
+        let mut mask = ErrorMask::for_table(dirty);
+        let predictions: Vec<Vec<bool>> = scheduler.run(n_cols, |j| {
+            detector::train_and_predict(dirty, j, &fitted, &feats.unified[j], &training[j], config)
+        });
+        for (j, column_pred) in predictions.iter().enumerate() {
+            for (i, &flag) in column_pred.iter().enumerate() {
+                if flag {
+                    mask.set(i, j, true);
+                }
+            }
+        }
+        timings.detector = t4.elapsed();
+
+        let sched_stats = scheduler.stats();
+        stats.runtime_tasks = sched_stats.tasks as usize;
+        stats.runtime_retries = sched_stats.retries as usize;
+
+        DetectionOutcome {
+            mask,
+            timings,
+            stats,
+        }
+    }
+
+    /// The sequential oracle path: the seed behaviour, plain loops on the
+    /// calling thread, no scheduler, no cache.
+    fn detect_sequential(&self, dirty: &Table, llm: &dyn LlmClient) -> DetectionOutcome {
         let config = &self.config;
         let n_rows = dirty.n_rows();
         let n_cols = dirty.n_cols();
@@ -78,7 +265,6 @@ impl ZeroEd {
         // LLM prompt contexts describe) — the NMI sweep runs exactly once.
         let fitted = builder.fit_prepared(dirty, dict, correlated.clone(), &extra);
         let feats = fitted.build_all();
-        stats.criteria_count = criteria.iter().flatten().map(|c| c.len()).sum();
         timings.features = t0.elapsed();
 
         // ------------------------------------------------------------------
@@ -102,7 +288,7 @@ impl ZeroEd {
         // Step 3 — holistic LLM labelling (§III-C).
         // ------------------------------------------------------------------
         let t2 = Instant::now();
-        let mut column_labels = Vec::with_capacity(n_cols);
+        let mut label_outcomes = Vec::with_capacity(n_cols);
         for j in 0..n_cols {
             let ctx = AttributeContext {
                 table: dirty,
@@ -110,14 +296,16 @@ impl ZeroEd {
                 correlated: &correlated[j],
                 sample_rows: &samplings[j].representatives,
             };
-            let labels = labeling::label_representatives(
+            let outcome = labeling::label_representatives(
                 &ctx,
                 config,
                 llm,
                 &samplings[j].representatives,
             );
-            stats.llm_labeled_cells += labels.len();
-            column_labels.push(labels);
+            stats.llm_labeled_cells += outcome.labels.len();
+            stats.label_fallback_cells += outcome.fallback_cells;
+            stats.label_defaulted_cells += outcome.defaulted_cells;
+            label_outcomes.push(outcome);
         }
         timings.labeling = t2.elapsed();
 
@@ -138,7 +326,7 @@ impl ZeroEd {
                 config,
                 llm,
                 &samplings[j],
-                &column_labels[j],
+                &label_outcomes[j].labels,
                 criteria[j].clone(),
             );
             stats.propagated_cells += data.propagated_cells;
@@ -230,6 +418,8 @@ mod tests {
         assert!(outcome.timings.total().as_nanos() > 0);
         // The LLM labelled far fewer cells than the table contains.
         assert!(outcome.stats.llm_labeled_cells < ds.dirty.n_cells() / 2);
+        // The default path went through the scheduler.
+        assert!(outcome.stats.runtime_tasks > 0);
     }
 
     #[test]
@@ -238,6 +428,8 @@ mod tests {
         let llm = SimLlm::default_model(0);
         let outcome = ZeroEd::with_defaults().detect(&empty, &llm);
         assert_eq!(outcome.mask.error_count(), 0);
+        let seq = ZeroEd::new(ZeroEdConfig::default().sequential_runtime()).detect(&empty, &llm);
+        assert_eq!(seq.mask.error_count(), 0);
     }
 
     #[test]
@@ -255,5 +447,31 @@ mod tests {
         let no_veri =
             ZeroEd::new(base_config.clone().without_verification()).detect(&ds.dirty, &llm);
         assert_eq!(no_veri.stats.augmented_rows, 0);
+    }
+
+    #[test]
+    fn repeated_detection_replays_the_cache() {
+        let ds = small_dataset();
+        let detector = ZeroEd::new(ZeroEdConfig {
+            label_rate: 0.08,
+            ..ZeroEdConfig::fast()
+        });
+        let llm_cold = SimLlm::default_model(4).with_oracle(ds.mask.clone());
+        let cold = detector.detect(&ds.dirty, &llm_cold);
+        assert_eq!(cold.stats.cache_hits, 0, "first run cannot hit");
+        assert!(cold.stats.cache_misses > 0);
+
+        // Fresh client, same seed and oracle: every request replays.
+        let llm_warm = SimLlm::default_model(4).with_oracle(ds.mask.clone());
+        let warm = detector.detect(&ds.dirty, &llm_warm);
+        assert_eq!(warm.mask, cold.mask, "replayed run must be bit-identical");
+        assert_eq!(warm.stats.cache_misses, 0, "warm run must be all hits");
+        assert_eq!(warm.stats.cache_hits, cold.stats.cache_misses);
+        assert!(warm.stats.cache_tokens_saved > 0);
+        assert_eq!(
+            llm_warm.ledger().usage().requests,
+            0,
+            "warm run must not call the model"
+        );
     }
 }

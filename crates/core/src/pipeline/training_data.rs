@@ -7,6 +7,11 @@
 //! clean-labelled cells failing most surviving criteria are discarded); and
 //! finally the LLM augments the minority error class with synthetic error
 //! values.
+//!
+//! On the concurrent runtime path [`construct`] runs as one scheduler task
+//! per attribute (the refinement → verification → augmentation chain stays
+//! ordered within the attribute); it makes no cross-attribute reads, which is
+//! what keeps the fan-out bit-identical to the sequential loop.
 
 use super::sampling::ColumnSampling;
 use crate::config::ZeroEdConfig;

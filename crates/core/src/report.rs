@@ -42,6 +42,25 @@ pub struct PipelineStats {
     pub augmented_rows: usize,
     /// Total error-checking criteria in use after refinement/verification.
     pub criteria_count: usize,
+    /// Cells relabelled individually because a labelling batch returned
+    /// fewer labels than requested (never dropped silently).
+    pub label_fallback_cells: usize,
+    /// Cells defaulted to clean because even the individual relabelling
+    /// returned nothing.
+    pub label_defaulted_cells: usize,
+    /// Response-cache hits during this run (requests answered without a
+    /// model call).
+    pub cache_hits: usize,
+    /// Response-cache misses (requests that executed the model).
+    pub cache_misses: usize,
+    /// Hits that coalesced onto an in-flight identical request.
+    pub cache_coalesced: usize,
+    /// Input + output tokens the cache hits avoided.
+    pub cache_tokens_saved: usize,
+    /// Tasks executed by the runtime scheduler (0 on the sequential path).
+    pub runtime_tasks: usize,
+    /// Scheduler retry attempts.
+    pub runtime_retries: usize,
 }
 
 /// The result of running ZeroED on a dirty table.

@@ -177,6 +177,23 @@ pub trait LlmClient: Send + Sync {
     /// tuple?" for every attribute of one tuple, without any dataset-level
     /// context. Returns one flag per column (`true` = error).
     fn detect_tuple(&self, table: &Table, row: usize) -> Vec<bool>;
+
+    /// Hash of any *hidden* per-request state a caching layer must fold into
+    /// its content-addressed request keys.
+    ///
+    /// A served model at temperature 0 is a pure function of the prompt, so
+    /// the default is `0` (prompt content alone identifies the response). The
+    /// simulated model is not: its answers additionally depend on its seed and
+    /// on the ground-truth oracle for the referenced cells, so it overrides
+    /// this to hash that state. Without the override, two content-identical
+    /// requests about different cells could share a cache entry and break the
+    /// bit-identical-to-sequential guarantee of `zeroed-runtime`.
+    ///
+    /// `column` is `None` for whole-tuple requests (FM_ED).
+    fn request_salt(&self, table: &Table, column: Option<usize>, rows: &[usize]) -> u64 {
+        let _ = (table, column, rows);
+        0
+    }
 }
 
 #[cfg(test)]

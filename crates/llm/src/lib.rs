@@ -30,6 +30,6 @@ pub mod sim;
 pub mod token;
 
 pub use client::{AttributeContext, DistributionAnalysis, ErrorTypeGuide, Guideline, LlmClient};
-pub use profile::LlmProfile;
+pub use profile::{LlmLatency, LlmProfile};
 pub use sim::SimLlm;
 pub use token::{count_tokens, TokenLedger, TokenUsage};

@@ -7,7 +7,37 @@
 //! criteria are, and how much the two-step guideline helps it.
 
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 use zeroed_table::ErrorType;
+
+/// Simulated serving latency of one LLM backbone.
+///
+/// Real deployments spend most of ZeroED's wall-clock inside LLM calls, so
+/// the offline reproduction needs a latency model to make scheduling
+/// improvements measurable: a fixed per-request overhead (network + prefill
+/// setup) plus linear per-token costs for prompt ingestion and decoding.
+/// The absolute numbers are loosely calibrated to self-hosted vLLM serving of
+/// the respective model sizes, scaled down ~10x so benchmark sweeps finish in
+/// seconds; only the *relative* shape matters for scheduler experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LlmLatency {
+    /// Fixed per-request overhead in milliseconds.
+    pub base_ms: f64,
+    /// Prompt-ingestion cost in microseconds per input token.
+    pub input_us_per_token: f64,
+    /// Decoding cost in microseconds per output token.
+    pub output_us_per_token: f64,
+}
+
+impl LlmLatency {
+    /// Latency of one call with the given token counts.
+    pub fn call_cost(&self, input_tokens: usize, output_tokens: usize) -> Duration {
+        let us = self.base_ms * 1e3
+            + self.input_us_per_token * input_tokens as f64
+            + self.output_us_per_token * output_tokens as f64;
+        Duration::from_nanos((us.max(0.0) * 1e3) as u64)
+    }
+}
 
 /// Labelling/reasoning fidelity of one LLM backbone.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,6 +63,8 @@ pub struct LlmProfile {
     /// Additive accuracy boost when a detection guideline is supplied
     /// (removed by the "w/o Guid." ablation).
     pub guideline_boost: f64,
+    /// Simulated serving latency of this backbone.
+    pub latency: LlmLatency,
 }
 
 impl LlmProfile {
@@ -59,6 +91,7 @@ impl LlmProfile {
             recall_rule: 0.80,
             criteria_quality: 0.95,
             guideline_boost: 0.06,
+            latency: LlmLatency { base_ms: 12.0, input_us_per_token: 3.0, output_us_per_token: 36.0 },
         }
     }
 
@@ -74,6 +107,7 @@ impl LlmProfile {
             recall_rule: 0.72,
             criteria_quality: 0.85,
             guideline_boost: 0.06,
+            latency: LlmLatency { base_ms: 12.0, input_us_per_token: 3.0, output_us_per_token: 34.0 },
         }
     }
 
@@ -89,6 +123,7 @@ impl LlmProfile {
             recall_rule: 0.62,
             criteria_quality: 0.75,
             guideline_boost: 0.08,
+            latency: LlmLatency { base_ms: 8.0, input_us_per_token: 0.8, output_us_per_token: 9.0 },
         }
     }
 
@@ -104,6 +139,7 @@ impl LlmProfile {
             recall_rule: 0.55,
             criteria_quality: 0.65,
             guideline_boost: 0.08,
+            latency: LlmLatency { base_ms: 8.0, input_us_per_token: 0.8, output_us_per_token: 9.0 },
         }
     }
 
@@ -120,6 +156,7 @@ impl LlmProfile {
             recall_rule: 0.60,
             criteria_quality: 0.70,
             guideline_boost: 0.05,
+            latency: LlmLatency { base_ms: 20.0, input_us_per_token: 0.6, output_us_per_token: 12.0 },
         }
     }
 
@@ -164,6 +201,23 @@ mod tests {
         let p = LlmProfile::gpt_4o_mini();
         assert!(p.clean_accuracy < LlmProfile::llama_8b().clean_accuracy);
         assert!(p.recall_missing > 0.9);
+    }
+
+    #[test]
+    fn latency_scales_with_tokens_and_model_size() {
+        let big = LlmProfile::qwen_72b().latency;
+        let small = LlmProfile::qwen_7b().latency;
+        assert!(big.call_cost(1_000, 200) > small.call_cost(1_000, 200));
+        assert!(big.call_cost(1_000, 200) > big.call_cost(100, 20));
+        assert_eq!(
+            LlmLatency {
+                base_ms: 1.0,
+                input_us_per_token: 0.0,
+                output_us_per_token: 0.0
+            }
+            .call_cost(0, 0),
+            Duration::from_millis(1)
+        );
     }
 
     #[test]

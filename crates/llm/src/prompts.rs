@@ -130,6 +130,41 @@ pub fn render_analysis(analysis: &DistributionAnalysis) -> String {
     out
 }
 
+/// Renders a criteria set the way the simulated model "writes" it back: one
+/// checking function per criterion. Shared by [`crate::SimLlm`] and response
+/// caches so that replayed responses account for exactly the output tokens the
+/// original call charged.
+pub fn render_criteria_response(set: &zeroed_criteria::CriteriaSet) -> String {
+    set.criteria
+        .iter()
+        .map(|c| {
+            format!(
+                "def {}(row, attr):\n    # {}\n    return check(row[attr])\n",
+                c.name, c.rationale
+            )
+        })
+        .collect()
+}
+
+/// Renders a labelling response: one `clean`/`error` line per batch entry.
+pub fn render_labels_response(labels: &[bool]) -> String {
+    labels
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| format!("{}. {}\n", i + 1, if e { "error" } else { "clean" }))
+        .collect()
+}
+
+/// Renders an error-augmentation response: one fabricated value per line.
+pub fn render_augment_response(values: &[String]) -> String {
+    values.join("\n")
+}
+
+/// Renders the FM_ED per-tuple response: `yes`/`no` per attribute.
+pub fn render_tuple_response(flags: &[bool]) -> String {
+    flags.iter().map(|&e| if e { "yes " } else { "no " }).collect()
+}
+
 /// Prompt asking the model to label one batch of sampled values (paper
 /// §III-C, context-aware LLM labelling).
 pub fn labeling_prompt(

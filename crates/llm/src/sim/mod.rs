@@ -39,6 +39,10 @@ pub struct SimLlm {
     seed: u64,
     ledger: TokenLedger,
     oracle: Oracle,
+    /// Multiplier applied to the profile's latency model; `0.0` (the default)
+    /// disables the simulated sleep so tests stay instant. Benchmarks enable
+    /// it to make scheduling/caching wins measurable in wall-clock.
+    latency_scale: f64,
     profile_cache: Mutex<HashMap<(String, usize, usize), Arc<ColumnProfile>>>,
 }
 
@@ -60,6 +64,7 @@ impl SimLlm {
             seed,
             ledger: TokenLedger::new(),
             oracle: Oracle::default(),
+            latency_scale: 0.0,
             profile_cache: Mutex::new(HashMap::new()),
         }
     }
@@ -87,9 +92,31 @@ impl SimLlm {
         self
     }
 
+    /// Enables simulated serving latency: every call sleeps for
+    /// `scale × profile.latency.call_cost(...)` after rendering its prompt
+    /// and response. `0.0` disables the sleep; the per-call cost is recorded
+    /// in the ledger either way.
+    pub fn with_latency_scale(mut self, scale: f64) -> Self {
+        self.latency_scale = scale.max(0.0);
+        self
+    }
+
     /// The backbone profile used by this simulator.
     pub fn model_profile(&self) -> &LlmProfile {
         &self.profile
+    }
+
+    /// Records one rendered call in the ledger (tokens + simulated latency)
+    /// and, when latency simulation is enabled, sleeps for the scaled cost.
+    fn charge(&self, prompt: &str, response: &str) {
+        let input = crate::token::count_tokens(prompt);
+        let output = crate::token::count_tokens(response);
+        self.ledger.record_counts(input, output);
+        let cost = self.profile.latency.call_cost(input, output);
+        self.ledger.record_sim_cost(cost);
+        if self.latency_scale > 0.0 {
+            std::thread::sleep(cost.mul_f64(self.latency_scale));
+        }
     }
 
     fn truth_for(&self, row: usize, col: usize) -> Option<(bool, Option<ErrorType>)> {
@@ -129,12 +156,8 @@ impl LlmClient for SimLlm {
         let profile = self.column_profile(ctx.table, ctx.column, ctx.correlated);
         let set = criteria_gen::build_criteria(&profile, self.profile.criteria_quality);
         let prompt = prompts::criteria_prompt(ctx);
-        let response: String = set
-            .criteria
-            .iter()
-            .map(|c| format!("def {}(row, attr):\n    # {}\n    return check(row[attr])\n", c.name, c.rationale))
-            .collect();
-        self.ledger.record(&prompt, &response);
+        let response = prompts::render_criteria_response(&set);
+        self.charge(&prompt, &response);
         set
     }
 
@@ -143,7 +166,7 @@ impl LlmClient for SimLlm {
         let analysis = guideline_gen::build_analysis(&profile);
         let prompt = prompts::analysis_prompt(ctx);
         let response = prompts::render_analysis(&analysis);
-        self.ledger.record(&prompt, &response);
+        self.charge(&prompt, &response);
         analysis
     }
 
@@ -156,7 +179,7 @@ impl LlmClient for SimLlm {
         let guideline = guideline_gen::build_guideline(&profile, analysis);
         let prompt = prompts::guideline_prompt(ctx, analysis);
         let response = guideline.render();
-        self.ledger.record(&prompt, &response);
+        self.charge(&prompt, &response);
         guideline
     }
 
@@ -183,12 +206,8 @@ impl LlmClient for SimLlm {
             })
             .collect();
         let prompt = prompts::labeling_prompt(ctx, guideline, rows);
-        let response: String = labels
-            .iter()
-            .enumerate()
-            .map(|(i, &e)| format!("{}. {}\n", i + 1, if e { "error" } else { "clean" }))
-            .collect();
-        self.ledger.record(&prompt, &response);
+        let response = prompts::render_labels_response(&labels);
+        self.charge(&prompt, &response);
         labels
     }
 
@@ -203,12 +222,8 @@ impl LlmClient for SimLlm {
         let refined =
             criteria_gen::refine_criteria(&profile, existing, clean_examples, error_examples);
         let prompt = prompts::contrastive_prompt(ctx, clean_examples, error_examples);
-        let response: String = refined
-            .criteria
-            .iter()
-            .map(|c| format!("def {}(row, attr):\n    # {}\n    return check(row[attr])\n", c.name, c.rationale))
-            .collect();
-        self.ledger.record(&prompt, &response);
+        let response = prompts::render_criteria_response(&refined);
+        self.charge(&prompt, &response);
         refined
     }
 
@@ -221,8 +236,8 @@ impl LlmClient for SimLlm {
         let profile = self.column_profile(ctx.table, ctx.column, ctx.correlated);
         let generated = augment::augment_errors(&profile, clean_examples, count, self.seed);
         let prompt = prompts::augmentation_prompt(ctx, clean_examples, count);
-        let response = generated.join("\n");
-        self.ledger.record(&prompt, &response);
+        let response = prompts::render_augment_response(&generated);
+        self.charge(&prompt, &response);
         generated
     }
 
@@ -242,12 +257,39 @@ impl LlmClient for SimLlm {
             })
             .collect();
         let prompt = prompts::tuple_prompt(table, row);
-        let response: String = flags
-            .iter()
-            .map(|&e| if e { "yes " } else { "no " })
-            .collect();
-        self.ledger.record(&prompt, &response);
+        let response = prompts::render_tuple_response(&flags);
+        self.charge(&prompt, &response);
         flags
+    }
+
+    fn request_salt(&self, table: &Table, column: Option<usize>, rows: &[usize]) -> u64 {
+        // The simulator's answers depend on hidden state a prompt does not
+        // capture: the seed (pseudo-random draws hash the *row index*) and
+        // the oracle truth of the referenced cells. Fold all of it into the
+        // salt so a caching layer can never conflate two requests whose
+        // correct responses differ.
+        let mut h: u64 = 0x51_7c_c1_b7_27_22_0a_95 ^ self.seed;
+        let mut mix = |word: u64| {
+            h = (h.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+        };
+        mix(self.oracle.mask.is_some() as u64);
+        let cols: Vec<usize> = match column {
+            Some(c) => vec![c],
+            None => (0..table.n_cols()).collect(),
+        };
+        for &row in rows {
+            mix(row as u64);
+            for &col in &cols {
+                match self.truth_for(row, col) {
+                    None => mix(0),
+                    Some((is_error, ty)) => {
+                        mix(1 + is_error as u64);
+                        mix(ty.map(|t| t as u64 + 1).unwrap_or(0));
+                    }
+                }
+            }
+        }
+        h
     }
 }
 

@@ -42,6 +42,11 @@ impl TokenUsage {
 #[derive(Debug, Default, Clone)]
 pub struct TokenLedger {
     inner: Arc<Mutex<TokenUsage>>,
+    /// Total simulated model latency across all recorded calls. Tracked
+    /// separately from [`TokenUsage`] because it is a *cost model* output
+    /// (sum of per-call latencies, independent of scheduling), not something
+    /// a served deployment would report.
+    sim_cost: Arc<Mutex<std::time::Duration>>,
 }
 
 impl TokenLedger {
@@ -66,6 +71,18 @@ impl TokenLedger {
         usage.requests += 1;
     }
 
+    /// Adds one call's simulated model latency (see [`TokenLedger::sim_cost`]).
+    pub fn record_sim_cost(&self, cost: std::time::Duration) {
+        *self.sim_cost.lock() += cost;
+    }
+
+    /// Total simulated model latency recorded so far. This is the *serial*
+    /// cost of all calls; a concurrent scheduler's wall-clock should come in
+    /// well below it.
+    pub fn sim_cost(&self) -> std::time::Duration {
+        *self.sim_cost.lock()
+    }
+
     /// Returns the current snapshot.
     pub fn usage(&self) -> TokenUsage {
         *self.inner.lock()
@@ -74,6 +91,7 @@ impl TokenLedger {
     /// Resets the ledger to zero.
     pub fn reset(&self) {
         *self.inner.lock() = TokenUsage::default();
+        *self.sim_cost.lock() = std::time::Duration::ZERO;
     }
 }
 
@@ -111,5 +129,17 @@ mod tests {
         let clone = ledger.clone();
         clone.record_counts(5, 5);
         assert_eq!(ledger.usage().requests, 1);
+    }
+
+    #[test]
+    fn sim_cost_accumulates_and_resets() {
+        use std::time::Duration;
+        let ledger = TokenLedger::new();
+        assert_eq!(ledger.sim_cost(), Duration::ZERO);
+        ledger.record_sim_cost(Duration::from_millis(3));
+        ledger.clone().record_sim_cost(Duration::from_millis(4));
+        assert_eq!(ledger.sim_cost(), Duration::from_millis(7));
+        ledger.reset();
+        assert_eq!(ledger.sim_cost(), Duration::ZERO);
     }
 }

@@ -1,0 +1,369 @@
+//! The response cache: completed- and in-flight-request deduplication.
+//!
+//! Maps [`RequestKey`]s to stored responses. Lookups follow the single-flight
+//! discipline: the first thread to miss claims the key and computes; any
+//! thread that asks for the same key while that computation is in flight
+//! parks on a condition variable and receives the published response without
+//! a second model call. Counters track hits, misses, coalesced waits and the
+//! exact token cost the hits avoided.
+
+use crate::key::RequestKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use zeroed_criteria::CriteriaSet;
+use zeroed_llm::{DistributionAnalysis, Guideline};
+
+/// A structured LLM response, stored by value so a hit replays the exact
+/// object the wrapped client originally returned.
+#[derive(Debug, Clone)]
+pub enum CachedResponse {
+    /// Criteria set (`generate_criteria` / `refine_criteria`).
+    Criteria(CriteriaSet),
+    /// Distribution analysis.
+    Analysis(DistributionAnalysis),
+    /// Detection guideline.
+    Guideline(Guideline),
+    /// Per-row labels (`label_batch`) or per-column flags (`detect_tuple`).
+    Flags(Vec<bool>),
+    /// Fabricated error values (`augment_errors`).
+    Values(Vec<String>),
+}
+
+/// A published response plus the token cost its original call charged.
+#[derive(Debug)]
+pub struct StoredResponse {
+    /// The response value.
+    pub value: CachedResponse,
+    /// Prompt tokens the original call consumed.
+    pub input_tokens: usize,
+    /// Completion tokens the original call produced.
+    pub output_tokens: usize,
+}
+
+enum Slot {
+    /// A worker is computing this response right now.
+    InFlight,
+    /// The response has been published.
+    Ready(Arc<StoredResponse>),
+}
+
+/// How a [`ResponseCache::get_or_compute`] call was satisfied. Returned to
+/// the caller so per-consumer accounting (e.g. one pipeline run's
+/// `PipelineStats`) can attribute activity precisely even when several
+/// consumers share one cache concurrently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The caller executed the computation.
+    Miss,
+    /// Served from a published entry; `coalesced` is true when the caller
+    /// parked behind an in-flight computation.
+    Hit {
+        /// Whether the caller waited on another caller's in-flight request.
+        coalesced: bool,
+    },
+}
+
+/// Snapshot of cache activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from a published entry (no model call).
+    pub hits: u64,
+    /// Requests that had to execute the model call.
+    pub misses: u64,
+    /// Hits that waited for an in-flight computation (subset of `hits`).
+    pub coalesced: u64,
+    /// Prompt tokens the hits avoided sending.
+    pub input_tokens_saved: u64,
+    /// Completion tokens the hits avoided generating.
+    pub output_tokens_saved: u64,
+    /// Generational flushes triggered by the capacity bound.
+    pub flushes: u64,
+}
+
+impl CacheStats {
+    /// Total tokens saved by deduplication.
+    pub fn tokens_saved(&self) -> u64 {
+        self.input_tokens_saved + self.output_tokens_saved
+    }
+
+    /// Component-wise difference against an earlier snapshot.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            coalesced: self.coalesced - earlier.coalesced,
+            input_tokens_saved: self.input_tokens_saved - earlier.input_tokens_saved,
+            output_tokens_saved: self.output_tokens_saved - earlier.output_tokens_saved,
+            flushes: self.flushes - earlier.flushes,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    input_tokens_saved: AtomicU64,
+    output_tokens_saved: AtomicU64,
+    flushes: AtomicU64,
+}
+
+/// Thread-safe single-flight response cache.
+///
+/// Cloneable handles share one store ([`Arc`] inside), mirroring
+/// [`zeroed_llm::TokenLedger`]'s sharing model.
+pub struct ResponseCache {
+    map: Mutex<HashMap<RequestKey, Slot>>,
+    published: Condvar,
+    counters: Counters,
+    /// Entry budget; exceeding it flushes completed entries (generational
+    /// eviction — in-flight slots survive so waiters are never orphaned).
+    capacity: usize,
+}
+
+impl std::fmt::Debug for ResponseCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseCache")
+            .field("entries", &self.len())
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ResponseCache {
+    /// Creates a cache holding at most `capacity` completed entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+            published: Condvar::new(),
+            counters: Counters::default(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of entries currently stored (including in-flight slots).
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            input_tokens_saved: self.counters.input_tokens_saved.load(Ordering::Relaxed),
+            output_tokens_saved: self.counters.output_tokens_saved.load(Ordering::Relaxed),
+            flushes: self.counters.flushes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_hit(&self, stored: &StoredResponse, coalesced: bool) {
+        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+        if coalesced {
+            self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+        self.counters
+            .input_tokens_saved
+            .fetch_add(stored.input_tokens as u64, Ordering::Relaxed);
+        self.counters
+            .output_tokens_saved
+            .fetch_add(stored.output_tokens as u64, Ordering::Relaxed);
+    }
+
+    /// Returns the response for `key` (and how it was obtained), computing it
+    /// with `compute` on a miss.
+    ///
+    /// Exactly one caller executes `compute` per key (single flight);
+    /// concurrent callers with the same key block until the response is
+    /// published. If `compute` panics, the in-flight slot is released and the
+    /// panic propagates (waiters retry the computation themselves).
+    pub fn get_or_compute(
+        &self,
+        key: RequestKey,
+        compute: impl FnOnce() -> StoredResponse,
+    ) -> (Arc<StoredResponse>, Lookup) {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let mut waited = false;
+        loop {
+            match map.get(&key) {
+                Some(Slot::Ready(stored)) => {
+                    let stored = Arc::clone(stored);
+                    drop(map);
+                    self.record_hit(&stored, waited);
+                    return (stored, Lookup::Hit { coalesced: waited });
+                }
+                Some(Slot::InFlight) => {
+                    waited = true;
+                    map = self
+                        .published
+                        .wait(map)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                None => {
+                    if map.len() >= self.capacity {
+                        // Generational flush: drop completed entries, keep
+                        // in-flight slots alive for their waiters.
+                        map.retain(|_, slot| matches!(slot, Slot::InFlight));
+                        self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    map.insert(key, Slot::InFlight);
+                    break;
+                }
+            }
+        }
+        drop(map);
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+
+        // Release the in-flight claim if `compute` unwinds, so parked waiters
+        // wake up and recompute instead of deadlocking.
+        struct FlightGuard<'a> {
+            cache: &'a ResponseCache,
+            key: RequestKey,
+            armed: bool,
+        }
+        impl Drop for FlightGuard<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    let mut map = self.cache.map.lock().unwrap_or_else(|e| e.into_inner());
+                    map.remove(&self.key);
+                    self.cache.published.notify_all();
+                }
+            }
+        }
+        let mut guard = FlightGuard {
+            cache: self,
+            key,
+            armed: true,
+        };
+
+        let stored = Arc::new(compute());
+        guard.armed = false;
+
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        map.insert(key, Slot::Ready(Arc::clone(&stored)));
+        drop(map);
+        self.published.notify_all();
+        (stored, Lookup::Miss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::{RequestKey, RequestKind};
+    use std::sync::atomic::AtomicUsize;
+
+    fn test_key(n: u64) -> RequestKey {
+        let mut b = RequestKey::builder(RequestKind::LabelBatch, "m");
+        b.word(n);
+        b.finish()
+    }
+
+    fn response(flag: bool) -> StoredResponse {
+        StoredResponse {
+            value: CachedResponse::Flags(vec![flag]),
+            input_tokens: 10,
+            output_tokens: 3,
+        }
+    }
+
+    #[test]
+    fn hit_replays_the_stored_value_and_counts_savings() {
+        let cache = ResponseCache::new(16);
+        let calls = AtomicUsize::new(0);
+        for round in 0..3 {
+            let (stored, lookup) = cache.get_or_compute(test_key(1), || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                response(true)
+            });
+            if round == 0 {
+                assert_eq!(lookup, Lookup::Miss);
+            } else {
+                assert_eq!(lookup, Lookup::Hit { coalesced: false });
+            }
+            match &stored.value {
+                CachedResponse::Flags(f) => assert_eq!(f, &vec![true]),
+                other => panic!("wrong variant: {other:?}"),
+            }
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.input_tokens_saved, 20);
+        assert_eq!(stats.output_tokens_saved, 6);
+        assert_eq!(stats.tokens_saved(), 26);
+    }
+
+    #[test]
+    fn single_flight_under_contention_computes_once() {
+        let cache = ResponseCache::new(64);
+        let calls = AtomicUsize::new(0);
+        let n_threads = 8;
+        std::thread::scope(|s| {
+            for _ in 0..n_threads {
+                s.spawn(|| {
+                    let (stored, _) = cache.get_or_compute(test_key(2), || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open long enough for others to park.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        response(false)
+                    });
+                    assert!(matches!(stored.value, CachedResponse::Flags(_)));
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "compute must run once");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits as usize, n_threads - 1);
+        assert!(stats.coalesced >= 1, "some callers must have parked");
+    }
+
+    #[test]
+    fn capacity_flush_keeps_working() {
+        let cache = ResponseCache::new(2);
+        for i in 0..10 {
+            let _ = cache.get_or_compute(test_key(i), || response(true));
+        }
+        assert!(cache.stats().flushes >= 1);
+        assert!(cache.len() <= 2);
+        // Still functional after flushes.
+        let (stored, lookup) = cache.get_or_compute(test_key(99), || response(true));
+        assert!(matches!(stored.value, CachedResponse::Flags(_)));
+        assert_eq!(lookup, Lookup::Miss);
+    }
+
+    #[test]
+    fn panic_in_compute_releases_the_flight() {
+        let cache = ResponseCache::new(8);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_compute(test_key(5), || panic!("boom"));
+        }));
+        assert!(result.is_err());
+        // The key is free again: a later caller computes normally.
+        let (stored, _) = cache.get_or_compute(test_key(5), || response(true));
+        assert!(matches!(stored.value, CachedResponse::Flags(_)));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn stats_since_diffs_componentwise() {
+        let cache = ResponseCache::new(8);
+        let _ = cache.get_or_compute(test_key(1), || response(true));
+        let snap = cache.stats();
+        let _ = cache.get_or_compute(test_key(1), || response(true));
+        let delta = cache.stats().since(&snap);
+        assert_eq!(delta.hits, 1);
+        assert_eq!(delta.misses, 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! # zeroed-runtime
+//!
+//! The concurrent LLM-orchestration runtime underneath the ZeroED pipeline.
+//!
+//! ZeroED spends most of its wall-clock and token budget in per-attribute LLM
+//! stages (distribution analysis, guideline generation, batched labelling,
+//! criteria refinement — paper §III and the Fig. 8 token-cost experiments).
+//! The seed implementation drove every call sequentially through a blocking
+//! [`zeroed_llm::LlmClient`], one column at a time. This crate turns those
+//! interactions into explicit, keyed requests executed on a configurable
+//! worker pool, with content-addressed deduplication of identical requests.
+//!
+//! ## Request lifecycle
+//!
+//! A request travels through four stations:
+//!
+//! 1. **Submit** — a pipeline stage (e.g. "label column 3, batch 2") renders
+//!    its prompt and derives a [`RequestKey`]: a 128-bit content hash of the
+//!    request kind, model name, target coordinates (table fingerprint, column,
+//!    row indices), the rendered prompt, and the client's
+//!    [`zeroed_llm::LlmClient::request_salt`] (hidden state such as the
+//!    simulator's seed and oracle bits). Two requests share a key *iff* a
+//!    deterministic model must answer them identically.
+//! 2. **Dedup** — the [`ResponseCache`] is consulted. A completed entry is
+//!    returned immediately (a *hit*: no model call, no tokens, no latency).
+//!    An entry that another worker is currently computing parks the caller on
+//!    a condition variable until the response lands (*single-flight
+//!    coalescing*: concurrent identical requests cost one model call). A
+//!    miss claims the in-flight slot and proceeds.
+//! 3. **Execute** — the wrapped [`zeroed_llm::LlmClient`] performs the actual
+//!    call (for [`zeroed_llm::SimLlm`]: deterministic simulation plus token
+//!    accounting plus optional simulated serving latency). The [`Scheduler`]
+//!    is what puts many executions in flight at once: per-attribute stage
+//!    chains (analysis → guideline → label batches) run as one task each, so
+//!    stage order *within* an attribute is preserved while attributes
+//!    proceed concurrently across a bounded work queue and a fixed worker
+//!    pool, with a simple bounded-retry policy for fallible tasks.
+//! 4. **Publish** — the response value and its exact token cost are stored
+//!    under the key; parked waiters wake; counters (hits, misses, coalesced
+//!    waits, tokens saved) update. Later identical requests — retries,
+//!    re-runs of the same detection, repeated values — replay the stored
+//!    response for free.
+//!
+//! The cache guarantees **bit-identical replay**: a cached response is the
+//! exact value the wrapped client returned for that key, and the key covers
+//! everything the (deterministic) client's answer depends on. The pipeline's
+//! sequential path therefore remains the correctness oracle — concurrent and
+//! cached runs must produce the same [`zeroed_table::ErrorMask`], which
+//! `crates/core` asserts in its equivalence tests (the same discipline
+//! `zeroed_features::reference` established for the featuriser).
+//!
+//! [`CachedLlm`] packages stations 1, 2 and 4 behind the ordinary
+//! [`zeroed_llm::LlmClient`] trait, so pipeline code does not change shape
+//! when caching is enabled.
+
+pub mod cache;
+pub mod client;
+pub mod key;
+pub mod scheduler;
+
+pub use cache::{CacheStats, CachedResponse, Lookup, ResponseCache, StoredResponse};
+pub use client::CachedLlm;
+pub use key::{RequestKey, RequestKeyBuilder, RequestKind};
+pub use scheduler::{ExecMode, RuntimeConfig, Scheduler, SchedulerStats};

@@ -14,6 +14,8 @@
 //! * [`criteria`] — the executable error-checking criteria DSL;
 //! * [`llm`] — the `LlmClient` abstraction, prompt templates, token ledger and
 //!   the simulated LLM;
+//! * [`runtime`] — the concurrent LLM orchestration runtime (worker-pool
+//!   scheduler plus request-dedup response cache);
 //! * [`baselines`] — dBoost, NADEEF, KATARA, Raha, ActiveClean and FM_ED;
 //! * [`core`] — the ZeroED pipeline itself.
 //!
@@ -38,6 +40,7 @@ pub use zeroed_datagen as datagen;
 pub use zeroed_features as features;
 pub use zeroed_llm as llm;
 pub use zeroed_ml as ml;
+pub use zeroed_runtime as runtime;
 pub use zeroed_table as table;
 
 /// The most commonly used items, re-exported for convenience.
