@@ -22,15 +22,23 @@
 //! (`TokenLedger::sim_cost`) are reported alongside. Every mode must produce
 //! a bit-identical mask — the emitter asserts it before writing the ledger.
 //!
+//! `--router` adds the multi-backend hedging experiment: detection against a
+//! single backend stuck with a latency slow-tail versus a two-backend router
+//! that hedges slow requests onto a healthy replica. The section reports
+//! per-request p50/p99 latency for both arms and asserts that hedging
+//! recovers the tail (p99 at least 1.5x better) without changing the mask.
+//!
 //! ```text
-//! cargo run --release -p zeroed-bench --bin bench_runtime
+//! cargo run --release -p zeroed-bench --bin bench_runtime -- --router
 //! ```
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use zeroed_core::{DetectionOutcome, RuntimeConfig, ZeroEd, ZeroEdConfig};
+use zeroed_core::{
+    DetectionOutcome, RouterConfig, RouterLlm, RuntimeConfig, ZeroEd, ZeroEdConfig,
+};
 use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
-use zeroed_llm::{LlmClient, LlmProfile};
+use zeroed_llm::{FaultSchedule, LlmClient, LlmProfile};
 
 const LATENCY_SCALE: f64 = 1.0;
 
@@ -93,11 +101,160 @@ fn json_mode(json: &mut String, r: &ModeResult, last: bool) {
     json.push_str(if last { "\n" } else { ",\n" });
 }
 
+/// One arm of the router experiment.
+struct RouterArm {
+    p50_ms: f64,
+    p99_ms: f64,
+    requests: u64,
+    hedges_fired: u64,
+    hedges_won: u64,
+    hedge_waste_tokens: u64,
+    breaker_trips: u64,
+    backends: Vec<(String, u64, u64)>, // (name, requests, useful tokens)
+}
+
+/// The `--router` experiment: detection against a single backend stuck with a
+/// latency slow-tail, versus a two-backend router hedging slow requests onto
+/// a healthy replica. Capped at 5k rows — request count (and therefore the
+/// latency sample size) depends on columns, not rows.
+fn router_section(rows: usize, workers: usize) -> String {
+    const SLOW_RATE: f64 = 0.15;
+    const SLOW_MS: f64 = 250.0;
+    const DEADLINE_MS: f64 = 25.0;
+    let rows = rows.min(5_000).max(1);
+    eprintln!("router experiment: hospital @ {rows} rows ...");
+    let ds = generate(
+        DatasetSpec::Hospital,
+        &GenerateOptions {
+            n_rows: rows,
+            seed: 7,
+            error_spec: None,
+        },
+    );
+    let config = ZeroEdConfig::fast();
+
+    // Sequential single-client oracle: the mask every routed arm must match.
+    // Latency simulation is off — only the mask matters here.
+    let seq_llm = zeroed_bench::simulated_llm(&ds, LlmProfile::qwen_72b(), 1);
+    let oracle = ZeroEd::new(config.clone().sequential_runtime()).detect(&ds.dirty, &seq_llm);
+
+    let slow = FaultSchedule::slow_tail(11, SLOW_RATE, SLOW_MS);
+    let runtime = RuntimeConfig {
+        workers,
+        ..RuntimeConfig::default()
+    };
+    let run_arm = |label: &str, schedules: &[FaultSchedule], hedge: bool| -> RouterArm {
+        eprintln!("  router arm: {label} ({} backends, hedge={hedge}) ...", schedules.len());
+        let sims: Vec<_> = schedules
+            .iter()
+            .map(|s| {
+                zeroed_bench::simulated_llm(&ds, LlmProfile::qwen_72b(), 1)
+                    .with_latency_scale(LATENCY_SCALE)
+                    .with_faults(*s)
+            })
+            .collect();
+        let clients: Vec<&dyn LlmClient> = sims.iter().map(|s| s as &dyn LlmClient).collect();
+        let mut rc = RouterConfig::for_backends(clients.len());
+        rc.hedge.enabled = hedge;
+        // p90 deadline: below the slow-tail fraction's complement, so the
+        // deadline tracks healthy latency instead of chasing hedged samples.
+        rc.hedge.percentile = 0.90;
+        rc.hedge.min_deadline_ms = DEADLINE_MS;
+        rc.latency_scale = LATENCY_SCALE;
+        let detector =
+            ZeroEd::new(config.clone().with_runtime(runtime.clone()).with_router(rc));
+        let router = RouterLlm::from_runtime(&detector.config().runtime, clients);
+        let outcome = detector.detect_routed(&ds.dirty, &router);
+        assert_eq!(
+            oracle.mask, outcome.mask,
+            "router arm '{label}': mask diverged from the sequential oracle"
+        );
+        let stats = router.stats();
+        RouterArm {
+            p50_ms: router.latency_quantile(0.50).as_secs_f64() * 1e3,
+            p99_ms: router.latency_quantile(0.99).as_secs_f64() * 1e3,
+            requests: stats.requests,
+            hedges_fired: stats.hedges_fired,
+            hedges_won: stats.hedges_won_by_hedge,
+            hedge_waste_tokens: stats.hedge_waste_tokens,
+            breaker_trips: stats.breaker_trips,
+            backends: stats
+                .backends
+                .iter()
+                .map(|b| (b.name.clone(), b.requests, b.tokens()))
+                .collect(),
+        }
+    };
+
+    // Arm 1: the slow-tail backend on its own — every request eats the tail.
+    let single = run_arm("single_slow_tail", &[slow], false);
+    // Arm 2: same slow-tail primary, healthy replica, hedging on.
+    let hedged = run_arm(
+        "hedged_two_backends",
+        &[slow, FaultSchedule::healthy(12)],
+        true,
+    );
+
+    let p99_speedup = single.p99_ms / hedged.p99_ms.max(1e-9);
+    eprintln!(
+        "  router p99: single slow-tail {:.0} ms | hedged {:.0} ms ({:.1}x, {} hedges fired, {} won)",
+        single.p99_ms, hedged.p99_ms, p99_speedup, hedged.hedges_fired, hedged.hedges_won,
+    );
+    assert!(
+        hedged.p99_ms <= single.p99_ms,
+        "hedged p99 ({:.1} ms) must not exceed the single slow-tail backend's ({:.1} ms)",
+        hedged.p99_ms,
+        single.p99_ms
+    );
+    assert!(
+        p99_speedup >= 1.5,
+        "hedging must recover at least 1.5x p99 vs a single slow-tail backend, got {p99_speedup:.2}x"
+    );
+
+    let arm_json = |arm: &RouterArm| -> String {
+        let backends: Vec<String> = arm
+            .backends
+            .iter()
+            .map(|(name, requests, tokens)| {
+                format!("{{\"name\": \"{name}\", \"requests\": {requests}, \"tokens\": {tokens}}}")
+            })
+            .collect();
+        format!(
+            "{{\"p50_ms\": {:.1}, \"p99_ms\": {:.1}, \"requests\": {}, \
+             \"hedges_fired\": {}, \"hedges_won\": {}, \"hedge_waste_tokens\": {}, \
+             \"breaker_trips\": {}, \"backends\": [{}]}}",
+            arm.p50_ms,
+            arm.p99_ms,
+            arm.requests,
+            arm.hedges_fired,
+            arm.hedges_won,
+            arm.hedge_waste_tokens,
+            arm.breaker_trips,
+            backends.join(", "),
+        )
+    };
+    let mut block = String::new();
+    let _ = writeln!(
+        block,
+        "    \"dataset\": \"hospital\", \"rows\": {rows}, \"workers\": {workers},"
+    );
+    let _ = writeln!(
+        block,
+        "    \"slow_tail_rate\": {SLOW_RATE}, \"slow_tail_ms\": {SLOW_MS}, \
+         \"hedge_deadline_floor_ms\": {DEADLINE_MS}, \"hedge_percentile\": 0.90,"
+    );
+    let _ = writeln!(block, "    \"p99_speedup\": {p99_speedup:.2}, \"masks_identical\": true,");
+    let _ = writeln!(block, "    \"single_slow_tail\": {},", arm_json(&single));
+    let _ = write!(block, "    \"hedged\": {}", arm_json(&hedged));
+    block
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_runtime.json".to_string();
     let mut rows = 50_000usize;
     let mut workers = 16usize;
+    let mut router = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -120,6 +277,7 @@ fn main() {
                 }
             }
             "--quick" => rows = 5_000,
+            "--router" => router = true,
             _ => {}
         }
         i += 1;
@@ -237,7 +395,13 @@ fn main() {
     );
     json.push_str("  \"runs\": [\n");
     json.push_str(&blocks.join(",\n"));
-    json.push_str("\n  ]\n}\n");
+    json.push_str("\n  ]");
+    if router {
+        json.push_str(",\n  \"router\": {\n");
+        json.push_str(&router_section(rows, workers));
+        json.push_str("\n  }");
+    }
+    json.push_str("\n}\n");
 
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("{json}");

@@ -156,6 +156,15 @@ impl ZeroEdConfig {
         self
     }
 
+    /// Attaches a multi-backend router policy (backends, budgets, hedging,
+    /// circuit breaking) to the runtime configuration. Consumed by
+    /// [`zeroed_runtime::RouterLlm::from_runtime`] /
+    /// [`crate::ZeroEd::detect_routed`].
+    pub fn with_router(mut self, router: zeroed_runtime::RouterConfig) -> Self {
+        self.runtime.router = Some(router);
+        self
+    }
+
     /// Effective number of correlated attributes after the ablation switch.
     pub fn effective_top_k(&self) -> usize {
         if self.use_corr {

@@ -53,4 +53,7 @@ pub use pipeline::ZeroEd;
 pub use report::{DetectionOutcome, PipelineStats, StepTimings};
 // Re-export the runtime configuration types so callers can tune execution
 // without a separate `zeroed-runtime` dependency.
-pub use zeroed_runtime::{ExecMode, RuntimeConfig};
+pub use zeroed_runtime::{
+    BackendConfig, BreakerPolicy, ExecMode, HedgePolicy, RouterConfig, RouterLlm, RouterStats,
+    RuntimeConfig,
+};

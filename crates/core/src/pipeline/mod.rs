@@ -30,7 +30,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use zeroed_features::{FeatureBuilder, FeatureConfig};
 use zeroed_llm::{AttributeContext, LlmClient};
-use zeroed_runtime::{CachedLlm, ExecMode, ResponseCache, Scheduler};
+use zeroed_runtime::{CachedLlm, ExecMode, ResponseCache, RouterLlm, Scheduler};
 use zeroed_table::{ErrorMask, Table};
 
 /// The ZeroED error detector.
@@ -93,6 +93,39 @@ impl ZeroEd {
             }
             ExecMode::Concurrent => self.detect_concurrent(dirty, llm),
         }
+    }
+
+    /// Runs detection across several LLM backends through a
+    /// [`zeroed_runtime::RouterLlm`] built by the caller (typically via
+    /// [`RouterLlm::from_runtime`] with this detector's
+    /// [`ZeroEdConfig::runtime`] policy).
+    ///
+    /// The router is an ordinary [`LlmClient`], so the pipeline itself runs
+    /// unchanged — [`ZeroEd::detect`] handles mode and caching exactly as for
+    /// a single backend. On top of that, this entry point folds the router's
+    /// activity (requests, failovers, hedges, breaker trips, hedge waste)
+    /// into the returned [`PipelineStats`].
+    ///
+    /// Routing never changes the detection result: with response-equivalent
+    /// backends, the mask is bit-identical to a single-backend sequential run
+    /// under every fault schedule (asserted by the router conformance suite
+    /// in `crates/runtime/tests/router_conformance.rs`).
+    pub fn detect_routed(&self, dirty: &Table, router: &RouterLlm<'_>) -> DetectionOutcome {
+        let before = router.stats();
+        let mut outcome = self.detect(dirty, router);
+        let delta_of = |now: u64, then: u64| (now - then) as usize;
+        let after = router.stats();
+        outcome.stats.router_backends = router.backend_count();
+        outcome.stats.router_requests = delta_of(after.requests, before.requests);
+        outcome.stats.router_failovers = delta_of(after.failovers, before.failovers);
+        outcome.stats.router_hedges_fired = delta_of(after.hedges_fired, before.hedges_fired);
+        outcome.stats.router_hedges_won =
+            delta_of(after.hedges_won_by_hedge, before.hedges_won_by_hedge);
+        outcome.stats.router_breaker_trips =
+            delta_of(after.breaker_trips, before.breaker_trips);
+        outcome.stats.router_hedge_waste_tokens =
+            delta_of(after.hedge_waste_tokens, before.hedge_waste_tokens);
+        outcome
     }
 
     /// The concurrent path: per-attribute fan-out on the scheduler.

@@ -61,6 +61,23 @@ pub struct PipelineStats {
     pub runtime_tasks: usize,
     /// Scheduler retry attempts.
     pub runtime_retries: usize,
+    /// Backends registered with the multi-backend router (0 when detection
+    /// ran on a single client; the remaining `router_*` fields are only
+    /// populated by [`crate::ZeroEd::detect_routed`]).
+    pub router_backends: usize,
+    /// Requests the router dispatched (cache hits never reach it).
+    pub router_requests: usize,
+    /// Failover skips over backends scheduled to error or time out.
+    pub router_failovers: usize,
+    /// Hedged requests fired against a second backend.
+    pub router_hedges_fired: usize,
+    /// Hedged races won by the hedge rather than the slow primary.
+    pub router_hedges_won: usize,
+    /// Circuit-breaker trips across all backends.
+    pub router_breaker_trips: usize,
+    /// Tokens charged to cancelled hedge losers (the price of the tail-latency
+    /// win; excluded from the useful-token ledger).
+    pub router_hedge_waste_tokens: usize,
 }
 
 /// The result of running ZeroED on a dirty table.

@@ -194,6 +194,22 @@ pub trait LlmClient: Send + Sync {
         let _ = (table, column, rows);
         0
     }
+
+    /// Simulated-fault probe for the request identified by `salt` (the value
+    /// [`LlmClient::request_salt`] returns for it).
+    ///
+    /// Orchestration layers — in particular the multi-backend router in
+    /// `zeroed-runtime` — consult this *before* executing a request so a
+    /// backend scheduled to error or time out can be skipped, counted against
+    /// its circuit breaker and failed over deterministically. The default is
+    /// `None` (a served client's failures are real, not injected); the
+    /// simulator answers from its seeded [`crate::FaultSchedule`], which keys
+    /// the decision off the salt so runs stay reproducible regardless of
+    /// scheduling.
+    fn injected_fault(&self, salt: u64) -> Option<crate::FaultKind> {
+        let _ = salt;
+        None
+    }
 }
 
 #[cfg(test)]

@@ -24,12 +24,14 @@
 //!    experiments measure.
 
 pub mod client;
+pub mod fault;
 pub mod profile;
 pub mod prompts;
 pub mod sim;
 pub mod token;
 
 pub use client::{AttributeContext, DistributionAnalysis, ErrorTypeGuide, Guideline, LlmClient};
+pub use fault::{FaultKind, FaultSchedule};
 pub use profile::{LlmLatency, LlmProfile};
 pub use sim::SimLlm;
 pub use token::{count_tokens, TokenLedger, TokenUsage};

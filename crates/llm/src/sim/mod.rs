@@ -15,6 +15,7 @@ pub mod labeling;
 pub mod profiling;
 
 use crate::client::{AttributeContext, DistributionAnalysis, Guideline, LlmClient};
+use crate::fault::{FaultKind, FaultSchedule};
 use crate::profile::LlmProfile;
 use crate::prompts;
 use crate::token::TokenLedger;
@@ -43,6 +44,9 @@ pub struct SimLlm {
     /// disables the simulated sleep so tests stay instant. Benchmarks enable
     /// it to make scheduling/caching wins measurable in wall-clock.
     latency_scale: f64,
+    /// Seeded fault-injection schedule (see [`crate::fault`]). `None` means a
+    /// perfectly healthy backend.
+    faults: Option<FaultSchedule>,
     profile_cache: Mutex<HashMap<(String, usize, usize), Arc<ColumnProfile>>>,
 }
 
@@ -65,6 +69,7 @@ impl SimLlm {
             ledger: TokenLedger::new(),
             oracle: Oracle::default(),
             latency_scale: 0.0,
+            faults: None,
             profile_cache: Mutex::new(HashMap::new()),
         }
     }
@@ -101,6 +106,25 @@ impl SimLlm {
         self
     }
 
+    /// Attaches a seeded fault-injection schedule.
+    ///
+    /// The simulator itself never fails a call: error/timeout decisions are
+    /// surfaced through [`LlmClient::injected_fault`] for an orchestration
+    /// layer (the `zeroed-runtime` router) to act on *before* executing, while
+    /// slow-tail decisions add the schedule's penalty to this backend's
+    /// simulated serving latency (recorded in the ledger's sim cost and slept
+    /// when [`SimLlm::with_latency_scale`] enables sleeping). Responses and
+    /// token charges are unaffected — a slow-tail call is correct, just late.
+    pub fn with_faults(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = Some(schedule);
+        self
+    }
+
+    /// The attached fault schedule, if any.
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.faults.as_ref()
+    }
+
     /// The backbone profile used by this simulator.
     pub fn model_profile(&self) -> &LlmProfile {
         &self.profile
@@ -108,14 +132,39 @@ impl SimLlm {
 
     /// Records one rendered call in the ledger (tokens + simulated latency)
     /// and, when latency simulation is enabled, sleeps for the scaled cost.
-    fn charge(&self, prompt: &str, response: &str) {
+    /// `extra` is additional serving latency beyond the profile's token-linear
+    /// model — the slow-tail fault penalty.
+    fn charge(&self, prompt: &str, response: &str, extra: std::time::Duration) {
         let input = crate::token::count_tokens(prompt);
         let output = crate::token::count_tokens(response);
         self.ledger.record_counts(input, output);
-        let cost = self.profile.latency.call_cost(input, output);
+        let cost = self.profile.latency.call_cost(input, output) + extra;
         self.ledger.record_sim_cost(cost);
         if self.latency_scale > 0.0 {
             std::thread::sleep(cost.mul_f64(self.latency_scale));
+        }
+    }
+
+    /// The slow-tail latency penalty (if any) the fault schedule injects into
+    /// the request identified by `(table, column, rows)`. Error/timeout
+    /// faults are *not* applied here — they surface through
+    /// [`LlmClient::injected_fault`] so an orchestration layer can reroute.
+    fn slow_tail_extra(
+        &self,
+        table: &Table,
+        column: Option<usize>,
+        rows: &[usize],
+    ) -> std::time::Duration {
+        match &self.faults {
+            Some(s) if !s.is_healthy() => {
+                let salt = self.request_salt(table, column, rows);
+                if s.decide(salt) == Some(FaultKind::SlowTail) {
+                    s.slow_tail_penalty()
+                } else {
+                    std::time::Duration::ZERO
+                }
+            }
+            _ => std::time::Duration::ZERO,
         }
     }
 
@@ -157,7 +206,8 @@ impl LlmClient for SimLlm {
         let set = criteria_gen::build_criteria(&profile, self.profile.criteria_quality);
         let prompt = prompts::criteria_prompt(ctx);
         let response = prompts::render_criteria_response(&set);
-        self.charge(&prompt, &response);
+        let extra = self.slow_tail_extra(ctx.table, Some(ctx.column), ctx.sample_rows);
+        self.charge(&prompt, &response, extra);
         set
     }
 
@@ -166,7 +216,8 @@ impl LlmClient for SimLlm {
         let analysis = guideline_gen::build_analysis(&profile);
         let prompt = prompts::analysis_prompt(ctx);
         let response = prompts::render_analysis(&analysis);
-        self.charge(&prompt, &response);
+        let extra = self.slow_tail_extra(ctx.table, Some(ctx.column), ctx.sample_rows);
+        self.charge(&prompt, &response, extra);
         analysis
     }
 
@@ -179,7 +230,8 @@ impl LlmClient for SimLlm {
         let guideline = guideline_gen::build_guideline(&profile, analysis);
         let prompt = prompts::guideline_prompt(ctx, analysis);
         let response = guideline.render();
-        self.charge(&prompt, &response);
+        let extra = self.slow_tail_extra(ctx.table, Some(ctx.column), ctx.sample_rows);
+        self.charge(&prompt, &response, extra);
         guideline
     }
 
@@ -207,7 +259,8 @@ impl LlmClient for SimLlm {
             .collect();
         let prompt = prompts::labeling_prompt(ctx, guideline, rows);
         let response = prompts::render_labels_response(&labels);
-        self.charge(&prompt, &response);
+        let extra = self.slow_tail_extra(ctx.table, Some(ctx.column), rows);
+        self.charge(&prompt, &response, extra);
         labels
     }
 
@@ -223,7 +276,8 @@ impl LlmClient for SimLlm {
             criteria_gen::refine_criteria(&profile, existing, clean_examples, error_examples);
         let prompt = prompts::contrastive_prompt(ctx, clean_examples, error_examples);
         let response = prompts::render_criteria_response(&refined);
-        self.charge(&prompt, &response);
+        let extra = self.slow_tail_extra(ctx.table, Some(ctx.column), &[]);
+        self.charge(&prompt, &response, extra);
         refined
     }
 
@@ -237,7 +291,8 @@ impl LlmClient for SimLlm {
         let generated = augment::augment_errors(&profile, clean_examples, count, self.seed);
         let prompt = prompts::augmentation_prompt(ctx, clean_examples, count);
         let response = prompts::render_augment_response(&generated);
-        self.charge(&prompt, &response);
+        let extra = self.slow_tail_extra(ctx.table, Some(ctx.column), &[]);
+        self.charge(&prompt, &response, extra);
         generated
     }
 
@@ -258,7 +313,8 @@ impl LlmClient for SimLlm {
             .collect();
         let prompt = prompts::tuple_prompt(table, row);
         let response = prompts::render_tuple_response(&flags);
-        self.charge(&prompt, &response);
+        let extra = self.slow_tail_extra(table, None, &[row]);
+        self.charge(&prompt, &response, extra);
         flags
     }
 
@@ -290,6 +346,10 @@ impl LlmClient for SimLlm {
             }
         }
         h
+    }
+
+    fn injected_fault(&self, salt: u64) -> Option<FaultKind> {
+        self.faults.as_ref().and_then(|s| s.decide(salt))
     }
 }
 

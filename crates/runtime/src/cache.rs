@@ -46,6 +46,22 @@ enum Slot {
     InFlight,
     /// The response has been published.
     Ready(Arc<StoredResponse>),
+    /// The computing worker unwound while callers were still parked. The
+    /// entry must survive (the parked callers' pins reference it); the first
+    /// waiter to wake claims the flight and recomputes, the rest stay
+    /// coalesced behind the new computation.
+    Vacated,
+}
+
+/// One cache entry: its slot plus the number of callers currently parked on
+/// (or waking up for) it. The waiter count *pins* the entry across
+/// generational flushes: a response published while callers are still parked
+/// must survive until every one of them has consumed it, otherwise a flush
+/// racing the wake-up would evict the entry and force the waiters to
+/// recompute — a duplicated model call the single-flight contract forbids.
+struct Entry {
+    slot: Slot,
+    waiters: usize,
 }
 
 /// How a [`ResponseCache::get_or_compute`] call was satisfied. Returned to
@@ -115,7 +131,7 @@ struct Counters {
 /// Cloneable handles share one store ([`Arc`] inside), mirroring
 /// [`zeroed_llm::TokenLedger`]'s sharing model.
 pub struct ResponseCache {
-    map: Mutex<HashMap<RequestKey, Slot>>,
+    map: Mutex<HashMap<RequestKey, Entry>>,
     published: Condvar,
     counters: Counters,
     /// Entry budget; exceeding it flushes completed entries (generational
@@ -154,6 +170,17 @@ impl ResponseCache {
         self.len() == 0
     }
 
+    /// Number of callers currently pinning `key` (tests only).
+    #[cfg(test)]
+    fn waiter_count(&self, key: &RequestKey) -> usize {
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .map(|entry| entry.waiters)
+            .unwrap_or(0)
+    }
+
     /// Current counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -179,6 +206,24 @@ impl ResponseCache {
             .fetch_add(stored.output_tokens as u64, Ordering::Relaxed);
     }
 
+    /// Evicts completed entries, retaining in-flight computations and any
+    /// entry with parked waiters (either would orphan callers otherwise).
+    /// Counters are untouched; the eviction itself is counted by the
+    /// capacity-triggered path only.
+    fn flush_locked(map: &mut HashMap<RequestKey, Entry>) {
+        map.retain(|_, entry| matches!(entry.slot, Slot::InFlight) || entry.waiters > 0);
+    }
+
+    /// Drops every completed entry (an explicit generational flush). Entries
+    /// that are still in flight, or whose response has parked waiters that
+    /// have not consumed it yet, survive — flushing can never orphan a
+    /// caller or force a duplicate computation.
+    pub fn flush(&self) {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        Self::flush_locked(&mut map);
+        self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Returns the response for `key` (and how it was obtained), computing it
     /// with `compute` on a miss.
     ///
@@ -192,30 +237,69 @@ impl ResponseCache {
         compute: impl FnOnce() -> StoredResponse,
     ) -> (Arc<StoredResponse>, Lookup) {
         let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        // `waited` feeds the coalesced counter; `pinned` tracks whether this
+        // caller currently holds a waiter pin on the entry. They are distinct:
+        // a waiter that claims a vacated flight has waited but no longer pins.
         let mut waited = false;
+        let mut pinned = false;
         loop {
-            match map.get(&key) {
-                Some(Slot::Ready(stored)) => {
-                    let stored = Arc::clone(stored);
-                    drop(map);
-                    self.record_hit(&stored, waited);
-                    return (stored, Lookup::Hit { coalesced: waited });
-                }
-                Some(Slot::InFlight) => {
-                    waited = true;
-                    map = self
-                        .published
-                        .wait(map)
-                        .unwrap_or_else(|e| e.into_inner());
-                }
+            match map.get_mut(&key) {
+                Some(entry) => match &entry.slot {
+                    Slot::Ready(stored) => {
+                        let stored = Arc::clone(stored);
+                        if pinned {
+                            // Release the pin taken before parking.
+                            entry.waiters -= 1;
+                        }
+                        drop(map);
+                        self.record_hit(&stored, waited);
+                        return (stored, Lookup::Hit { coalesced: waited });
+                    }
+                    Slot::InFlight => {
+                        if !pinned {
+                            // Pin the entry so a generational flush racing
+                            // the publish cannot evict the response before
+                            // this caller wakes up and reads it.
+                            entry.waiters += 1;
+                            pinned = true;
+                        }
+                        waited = true;
+                        map = self
+                            .published
+                            .wait(map)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                    Slot::Vacated => {
+                        // The previous computer panicked. Claim the flight in
+                        // place (releasing our pin — the computer does not pin
+                        // itself); other parked waiters keep theirs and stay
+                        // coalesced behind us.
+                        if pinned {
+                            entry.waiters -= 1;
+                        }
+                        entry.slot = Slot::InFlight;
+                        break;
+                    }
+                },
                 None => {
+                    // A pinned waiter's entry is never removed (a panicking
+                    // computer vacates it instead), so reaching here means
+                    // this caller holds no pin: claim a fresh flight.
+                    debug_assert!(!pinned);
                     if map.len() >= self.capacity {
                         // Generational flush: drop completed entries, keep
-                        // in-flight slots alive for their waiters.
-                        map.retain(|_, slot| matches!(slot, Slot::InFlight));
+                        // in-flight slots and pinned responses alive for
+                        // their waiters.
+                        Self::flush_locked(&mut map);
                         self.counters.flushes.fetch_add(1, Ordering::Relaxed);
                     }
-                    map.insert(key, Slot::InFlight);
+                    map.insert(
+                        key,
+                        Entry {
+                            slot: Slot::InFlight,
+                            waiters: 0,
+                        },
+                    );
                     break;
                 }
             }
@@ -234,7 +318,18 @@ impl ResponseCache {
             fn drop(&mut self) {
                 if self.armed {
                     let mut map = self.cache.map.lock().unwrap_or_else(|e| e.into_inner());
-                    map.remove(&self.key);
+                    match map.get_mut(&self.key) {
+                        // Parked waiters pin the entry; removing it would
+                        // orphan their pins (a later decrement would
+                        // underflow a fresh entry's count). Vacate in place:
+                        // the first waiter to wake claims the flight.
+                        Some(entry) if entry.waiters > 0 => entry.slot = Slot::Vacated,
+                        Some(_) => {
+                            map.remove(&self.key);
+                        }
+                        None => {}
+                    }
+                    drop(map);
                     self.cache.published.notify_all();
                 }
             }
@@ -249,7 +344,20 @@ impl ResponseCache {
         guard.armed = false;
 
         let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
-        map.insert(key, Slot::Ready(Arc::clone(&stored)));
+        // Publish in place: the entry's waiter pin count must survive, so the
+        // response stays flush-proof until every parked caller has read it.
+        match map.get_mut(&key) {
+            Some(entry) => entry.slot = Slot::Ready(Arc::clone(&stored)),
+            None => {
+                map.insert(
+                    key,
+                    Entry {
+                        slot: Slot::Ready(Arc::clone(&stored)),
+                        waiters: 0,
+                    },
+                );
+            }
+        }
         drop(map);
         self.published.notify_all();
         (stored, Lookup::Miss)
@@ -354,6 +462,146 @@ mod tests {
         let (stored, _) = cache.get_or_compute(test_key(5), || response(true));
         assert!(matches!(stored.value, CachedResponse::Flags(_)));
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn flush_never_evicts_a_response_with_parked_waiters() {
+        // Regression: the generational flush used to retain only in-flight
+        // slots, so a response published while callers were still parked
+        // could be evicted before they woke — forcing a duplicate model call.
+        // Waiter pins must keep the entry alive until the last parked caller
+        // has consumed it.
+        use std::sync::mpsc;
+        let cache = ResponseCache::new(4);
+        let calls = AtomicUsize::new(0);
+        let (started_tx, started_rx) = mpsc::channel();
+        let (go_tx, go_rx) = mpsc::channel::<()>();
+        let cache = &cache;
+        let calls = &calls;
+        std::thread::scope(|s| {
+            // T1 claims the flight and blocks inside compute.
+            let t1 = s.spawn(move || {
+                cache.get_or_compute(test_key(7), || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    started_tx.send(()).unwrap();
+                    go_rx.recv().unwrap();
+                    response(true)
+                })
+            });
+            started_rx.recv().unwrap();
+            // T2 parks behind the in-flight computation.
+            let t2 = s.spawn(|| {
+                cache.get_or_compute(test_key(7), || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    response(false)
+                })
+            });
+            while cache.waiter_count(&test_key(7)) == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            // Publish, then hammer flushes while T2 races to wake up.
+            go_tx.send(()).unwrap();
+            for _ in 0..10_000 {
+                cache.flush();
+            }
+            let (stored1, l1) = t1.join().unwrap();
+            let (stored2, l2) = t2.join().unwrap();
+            assert_eq!(l1, Lookup::Miss);
+            assert_eq!(
+                l2,
+                Lookup::Hit { coalesced: true },
+                "the parked waiter must receive the published response"
+            );
+            for stored in [&stored1, &stored2] {
+                match &stored.value {
+                    CachedResponse::Flags(f) => assert_eq!(f, &vec![true]),
+                    other => panic!("wrong variant: {other:?}"),
+                }
+            }
+        });
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "a flush racing the wake-up must never force a recompute"
+        );
+        // Once the waiter has consumed the entry, flushing may evict it.
+        cache.flush();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn panicking_computer_hands_the_flight_to_a_parked_waiter() {
+        // Regression: the panic path used to remove the entry wholesale,
+        // orphaning parked waiters' pins — a waiter that re-parked behind a
+        // later computation would then decrement a fresh entry's zero count
+        // (underflow). Vacating in place keeps pins valid: the parked waiter
+        // claims the flight, recomputes, and bookkeeping balances.
+        use std::sync::mpsc;
+        let cache = ResponseCache::new(8);
+        let calls = AtomicUsize::new(0);
+        let (started_tx, started_rx) = mpsc::channel();
+        let (go_tx, go_rx) = mpsc::channel::<()>();
+        let cache_ref = &cache;
+        let calls_ref = &calls;
+        std::thread::scope(|s| {
+            // T1 claims the flight, then panics on signal.
+            let t1 = s.spawn(move || {
+                cache_ref.get_or_compute(test_key(11), || {
+                    started_tx.send(()).unwrap();
+                    go_rx.recv().unwrap();
+                    panic!("computer died");
+                })
+            });
+            started_rx.recv().unwrap();
+            // T2 parks (and pins) behind the in-flight computation.
+            let t2 = s.spawn(move || {
+                cache_ref.get_or_compute(test_key(11), || {
+                    calls_ref.fetch_add(1, Ordering::SeqCst);
+                    response(true)
+                })
+            });
+            while cache.waiter_count(&test_key(11)) == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            go_tx.send(()).unwrap();
+            assert!(t1.join().is_err(), "T1's panic must propagate");
+            let (stored, lookup) = t2.join().unwrap();
+            assert_eq!(lookup, Lookup::Miss, "the waiter claims the vacated flight");
+            assert!(matches!(stored.value, CachedResponse::Flags(_)));
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        // Pins are balanced: the entry is flushable and the cache reusable.
+        assert_eq!(cache.waiter_count(&test_key(11)), 0);
+        cache.flush();
+        assert!(cache.is_empty());
+        let (_, lookup) = cache.get_or_compute(test_key(11), || response(false));
+        assert_eq!(lookup, Lookup::Miss);
+    }
+
+    #[test]
+    fn explicit_flush_spares_in_flight_entries() {
+        let cache = ResponseCache::new(64);
+        let _ = cache.get_or_compute(test_key(1), || response(true));
+        let cache = &cache;
+        std::thread::scope(|s| {
+            let (tx, rx) = std::sync::mpsc::channel::<()>();
+            let (started_tx, started_rx) = std::sync::mpsc::channel();
+            s.spawn(move || {
+                let _ = cache.get_or_compute(test_key(2), || {
+                    started_tx.send(()).unwrap();
+                    rx.recv().unwrap();
+                    response(false)
+                });
+            });
+            started_rx.recv().unwrap();
+            cache.flush();
+            // The completed entry is gone; the in-flight one survives.
+            assert_eq!(cache.len(), 1);
+            tx.send(()).unwrap();
+        });
+        // The in-flight entry completed normally after the flush.
+        let (_, lookup) = cache.get_or_compute(test_key(2), || response(true));
+        assert_eq!(lookup, Lookup::Hit { coalesced: false });
     }
 
     #[test]

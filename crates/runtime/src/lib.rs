@@ -52,13 +52,48 @@
 //! [`CachedLlm`] packages stations 1, 2 and 4 behind the ordinary
 //! [`zeroed_llm::LlmClient`] trait, so pipeline code does not change shape
 //! when caching is enabled.
+//!
+//! ## Multi-backend routing
+//!
+//! [`RouterLlm`] extends station 3 across N backends. It is itself an
+//! ordinary [`zeroed_llm::LlmClient`], so the stack composes as
+//!
+//! ```text
+//! pipeline stages → Scheduler workers → CachedLlm → RouterLlm → backend 0..N
+//! ```
+//!
+//! with cache hits short-circuiting before any routing happens. Per request
+//! the router derives a deterministic fingerprint (the [`RequestKey`] hash of
+//! kind + prompt + hidden-state salt) and, from it alone plus breaker state,
+//! decides which backend serves: fingerprint-spread primary selection,
+//! deterministic failover past backends scheduled to fail (probed through
+//! [`zeroed_llm::LlmClient::injected_fault`] and charged to per-backend
+//! circuit breakers clocked in routed requests), hedging of slow-tail
+//! requests onto a second backend after a latency-percentile deadline (the
+//! cancelled loser's cost lands on a `hedge_waste` ledger line), and fail-open
+//! execution when every backend is scheduled to fail — a request is never
+//! lost and never duplicated. Exactly one backend executes per routed
+//! request, which keeps token accounting exact:
+//! `sequential total = Σ per-backend useful tokens + cache savings`, with
+//! hedge waste reported separately.
+//!
+//! The conformance contract — routed masks bit-identical to a single-backend
+//! sequential oracle under every fault schedule, ledgers reconciling to the
+//! token — is enforced by `tests/router_conformance.rs`; scheduler liveness
+//! under saturation and hostile tasks by `tests/scheduler_stress.rs`; and
+//! [`RequestKey`] derivation stability (the contract for cross-process cache
+//! persistence, the next roadmap item) by `tests/request_key_golden.rs`.
 
 pub mod cache;
 pub mod client;
 pub mod key;
+pub mod router;
 pub mod scheduler;
 
 pub use cache::{CacheStats, CachedResponse, Lookup, ResponseCache, StoredResponse};
 pub use client::CachedLlm;
 pub use key::{RequestKey, RequestKeyBuilder, RequestKind};
+pub use router::{
+    BackendConfig, BackendStats, BreakerPolicy, HedgePolicy, RouterConfig, RouterLlm, RouterStats,
+};
 pub use scheduler::{ExecMode, RuntimeConfig, Scheduler, SchedulerStats};

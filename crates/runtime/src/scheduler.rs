@@ -40,6 +40,12 @@ pub struct RuntimeConfig {
     /// Response-cache entry budget (completed entries; exceeding it triggers
     /// a generational flush).
     pub cache_capacity: usize,
+    /// Multi-backend routing policy (see [`crate::RouterConfig`]): per-backend
+    /// budgets, hedged-request policy and circuit-breaker thresholds. `None`
+    /// (the default) means single-backend operation; routers built through
+    /// [`crate::RouterLlm::from_runtime`] fall back to
+    /// [`crate::RouterConfig::for_backends`] defaults in that case.
+    pub router: Option<crate::router::RouterConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -51,6 +57,7 @@ impl Default for RuntimeConfig {
             max_retries: 2,
             cache: true,
             cache_capacity: 1 << 20,
+            router: None,
         }
     }
 }

@@ -15,7 +15,8 @@
 //! * [`llm`] — the `LlmClient` abstraction, prompt templates, token ledger and
 //!   the simulated LLM;
 //! * [`runtime`] — the concurrent LLM orchestration runtime (worker-pool
-//!   scheduler plus request-dedup response cache);
+//!   scheduler, request-dedup response cache, and the multi-backend router
+//!   with hedged requests and circuit breaking);
 //! * [`baselines`] — dBoost, NADEEF, KATARA, Raha, ActiveClean and FM_ED;
 //! * [`core`] — the ZeroED pipeline itself.
 //!
@@ -48,7 +49,8 @@ pub mod prelude {
     pub use zeroed_baselines::{Baseline, BaselineInput, LabeledTuple};
     pub use zeroed_core::{DetectionOutcome, ZeroEd, ZeroEdConfig};
     pub use zeroed_datagen::{generate, DatasetSpec, ErrorSpec, GenerateOptions};
-    pub use zeroed_llm::{LlmClient, LlmProfile, SimLlm};
+    pub use zeroed_llm::{FaultSchedule, LlmClient, LlmProfile, SimLlm};
+    pub use zeroed_runtime::{RouterConfig, RouterLlm};
     pub use zeroed_table::{DetectionReport, ErrorMask, ErrorType, Table};
 }
 
