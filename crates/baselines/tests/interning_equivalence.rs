@@ -1,8 +1,8 @@
-//! The interned dBoost / NADEEF fast paths must reproduce the seed per-cell
-//! reference implementations bit-for-bit on real generated benchmark data
-//! (duplicate-heavy columns, injected errors of all five types).
+//! The interned dBoost / NADEEF / KATARA fast paths must reproduce the seed
+//! per-cell reference implementations bit-for-bit on real generated benchmark
+//! data (duplicate-heavy columns, injected errors of all five types).
 
-use zeroed_baselines::{Baseline, BaselineInput, DBoost, Nadeef};
+use zeroed_baselines::{Baseline, BaselineInput, DBoost, Katara, Nadeef};
 use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
 
 fn check_dataset(spec: DatasetSpec, rows: usize, seed: u64) {
@@ -38,10 +38,17 @@ fn check_dataset(spec: DatasetSpec, rows: usize, seed: u64) {
             spec.name()
         );
     }
+
+    assert_eq!(
+        Katara.detect(&input),
+        Katara.detect_reference(&input),
+        "KATARA mismatch on {}",
+        spec.name()
+    );
 }
 
 #[test]
-fn dboost_and_nadeef_interned_paths_match_reference_on_benchmarks() {
+fn interned_baseline_paths_match_reference_on_benchmarks() {
     for (spec, seed) in [
         (DatasetSpec::Hospital, 7),
         (DatasetSpec::Flights, 11),

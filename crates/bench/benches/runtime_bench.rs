@@ -5,7 +5,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
-use zeroed_runtime::{CachedResponse, RequestKey, RequestKind, ResponseCache, Scheduler, StoredResponse};
+use zeroed_runtime::{CachedResponse, RequestKey, RequestKind, ResponseCache, ResponseOrigin, Scheduler, StoredResponse};
 
 fn key_for(i: u64) -> RequestKey {
     let mut b = RequestKey::builder(RequestKind::LabelBatch, "Qwen2.5-72b");
@@ -33,6 +33,7 @@ fn bench_runtime(c: &mut Criterion) {
             value: CachedResponse::Flags(vec![true; 20]),
             input_tokens: 800,
             output_tokens: 40,
+            origin: ResponseOrigin::Computed,
         });
         b.iter(|| {
             black_box(cache.get_or_compute(key, || unreachable!("must hit")))
@@ -48,6 +49,7 @@ fn bench_runtime(c: &mut Criterion) {
                 value: CachedResponse::Flags(vec![false; 20]),
                 input_tokens: 800,
                 output_tokens: 40,
+                origin: ResponseOrigin::Computed,
             }))
         })
     });
@@ -71,6 +73,7 @@ fn bench_runtime(c: &mut Criterion) {
                     value: CachedResponse::Flags(vec![true]),
                     input_tokens: 100,
                     output_tokens: 10,
+                    origin: ResponseOrigin::Computed,
                 });
                 matches!(stored.value, CachedResponse::Flags(_)) as usize + i
             });

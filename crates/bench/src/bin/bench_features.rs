@@ -6,9 +6,9 @@
 //! through `zeroed_features::reference::build_all_reference` (the seed
 //! per-cell implementation, kept as the correctness oracle), plus an
 //! end-to-end `ZeroEd::detect` wall-time per dataset at 1k rows, plus the
-//! interned-vs-reference wall-times of the dBoost and NADEEF baselines
-//! (whose histograms and FD lookups consume the shared `TableDict` /
-//! code-keyed `FrequencyModel` since the runtime PR). Results are
+//! interned-vs-reference wall-times of the dBoost, NADEEF and KATARA
+//! baselines (whose histograms, FD lookups and knowledge-base lookups consume
+//! the shared `TableDict` / code-keyed `FrequencyModel`). Results are
 //! written to `BENCH_features.json` (override with `--out PATH`; `--quick`
 //! caps the sweep at 10k rows for CI smoke runs) so successive PRs can track
 //! the perf trajectory.
@@ -19,7 +19,7 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use zeroed_baselines::{Baseline, BaselineInput, DBoost, Nadeef};
+use zeroed_baselines::{Baseline, BaselineInput, DBoost, Katara, Nadeef};
 use zeroed_core::{ZeroEd, ZeroEdConfig};
 use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
 use zeroed_features::reference::build_all_reference;
@@ -180,6 +180,16 @@ fn bench_baselines(spec: DatasetSpec, name: &'static str, rows: usize) -> Vec<Ba
         time_pair(&|| nadeef.detect(&input), &|| nadeef.detect_reference(&input));
     out.push(BaselineResult {
         method: "NADEEF",
+        dataset: name,
+        rows,
+        interned_ms,
+        reference_ms,
+    });
+    let katara = Katara;
+    let (interned_ms, reference_ms) =
+        time_pair(&|| katara.detect(&input), &|| katara.detect_reference(&input));
+    out.push(BaselineResult {
+        method: "KATARA",
         dataset: name,
         rows,
         interned_ms,

@@ -28,8 +28,15 @@
 //! per-request p50/p99 latency for both arms and asserts that hedging
 //! recovers the tail (p99 at least 1.5x better) without changing the mask.
 //!
+//! `--persist` adds the cross-process warm-start experiment: a cold detection
+//! writes every response through to an on-disk `zeroed-store`, the detector
+//! (and the store's writer) is dropped — the "process" exits — and a fresh
+//! detector re-opens the directory and re-runs detection. The section reports
+//! cold vs warm wall-times and asserts the warm run issues **zero** LLM
+//! requests with a bit-identical mask.
+//!
 //! ```text
-//! cargo run --release -p zeroed-bench --bin bench_runtime -- --router
+//! cargo run --release -p zeroed-bench --bin bench_runtime -- --router --persist
 //! ```
 
 use std::fmt::Write as _;
@@ -82,10 +89,9 @@ fn run_mode(
     }
 }
 
-fn json_mode(json: &mut String, r: &ModeResult, last: bool) {
-    let _ = write!(
-        json,
-        "      {{\"mode\": \"{}\", \"total_ms\": {:.1}, \"llm_stage_ms\": {:.1}, \
+fn mode_json(r: &ModeResult) -> String {
+    format!(
+        "{{\"mode\": \"{}\", \"total_ms\": {:.1}, \"llm_stage_ms\": {:.1}, \
          \"requests\": {}, \"tokens\": {}, \"llm_serial_cost_ms\": {:.1}, \
          \"cache_hits\": {}, \"cache_misses\": {}, \"cache_tokens_saved\": {}}}",
         r.label,
@@ -97,7 +103,11 @@ fn json_mode(json: &mut String, r: &ModeResult, last: bool) {
         r.cache_hits,
         r.cache_misses,
         r.tokens_saved,
-    );
+    )
+}
+
+fn json_mode(json: &mut String, r: &ModeResult, last: bool) {
+    let _ = write!(json, "      {}", mode_json(r));
     json.push_str(if last { "\n" } else { ",\n" });
 }
 
@@ -249,12 +259,101 @@ fn router_section(rows: usize, workers: usize) -> String {
     block
 }
 
+/// The `--persist` experiment: cold run writing through to the on-disk
+/// response store, then a *fresh* detector (new cache, new store handles — a
+/// second process as far as the store is concerned) warm-starting from the
+/// directory. Asserts the warm run issues zero LLM requests and reproduces
+/// the cold mask bit-identically.
+fn persist_section(rows: usize, workers: usize) -> String {
+    eprintln!("persistence experiment: hospital @ {rows} rows ...");
+    let ds = generate(
+        DatasetSpec::Hospital,
+        &GenerateOptions {
+            n_rows: rows,
+            seed: 7,
+            error_spec: None,
+        },
+    );
+    let store_dir = std::env::temp_dir().join(format!("zeroed-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let config = ZeroEdConfig::fast()
+        .with_runtime(RuntimeConfig {
+            workers,
+            ..RuntimeConfig::default()
+        })
+        .with_store_dir(store_dir.to_str().expect("utf-8 temp path"));
+
+    eprintln!("  cold (write-through) ...");
+    let cold = {
+        let detector = ZeroEd::new(config.clone());
+        run_mode("persist_cold", &detector, &ds, 1)
+        // ← detector drop: queue drained, store synced, handles closed.
+    };
+    let persisted_records = cold.outcome.stats.store_persisted_records;
+    let persisted_bytes = cold.outcome.stats.store_persisted_bytes;
+    assert_eq!(
+        persisted_records, cold.cache_misses,
+        "every cold miss must be persisted"
+    );
+
+    eprintln!("  warm (fresh detector, reopened store) ...");
+    let warm_detector = ZeroEd::new(config);
+    let warm = run_mode("persist_warm_cross_process", &warm_detector, &ds, 1);
+    assert_eq!(cold.outcome.mask, warm.outcome.mask, "persisted warm mask diverged");
+    assert_eq!(
+        warm.requests, 0,
+        "cross-process warm run must issue zero LLM requests"
+    );
+    assert_eq!(warm.outcome.stats.cache_misses, 0);
+    assert_eq!(
+        warm.outcome.stats.store_hits, warm.outcome.stats.cache_hits,
+        "every warm hit must come from the persisted store"
+    );
+    let preloaded = warm.outcome.stats.store_preloaded_records;
+    assert_eq!(preloaded, persisted_records, "preload must replay the whole store");
+    drop(warm_detector);
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let llm_stage_speedup = cold.llm_stage_ms / warm.llm_stage_ms.max(1e-9);
+    let total_speedup = cold.total_ms / warm.total_ms.max(1e-9);
+    eprintln!(
+        "  cold {:.0} ms | warm {:.0} ms total ({total_speedup:.1}x, llm-stage {llm_stage_speedup:.1}x, \
+         {} records / {} bytes persisted, {} tokens saved warm)",
+        cold.total_ms, warm.total_ms, persisted_records, persisted_bytes, warm.tokens_saved,
+    );
+
+    let mut block = String::new();
+    let _ = writeln!(
+        block,
+        "    \"dataset\": \"hospital\", \"rows\": {rows}, \"workers\": {workers}, \
+         \"masks_identical\": true, \"warm_llm_requests\": 0,"
+    );
+    let _ = writeln!(
+        block,
+        "    \"persisted_records\": {persisted_records}, \"persisted_bytes\": {persisted_bytes}, \
+         \"preloaded_records\": {preloaded},"
+    );
+    let _ = writeln!(
+        block,
+        "    \"speedup_total_warm\": {total_speedup:.2}, \
+         \"speedup_llm_stage_warm\": {llm_stage_speedup:.2},"
+    );
+    let _ = write!(
+        block,
+        "    \"cold\": {},\n    \"warm\": {}",
+        mode_json(&cold),
+        mode_json(&warm)
+    );
+    block
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_runtime.json".to_string();
     let mut rows = 50_000usize;
     let mut workers = 16usize;
     let mut router = false;
+    let mut persist = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -278,6 +377,7 @@ fn main() {
             }
             "--quick" => rows = 5_000,
             "--router" => router = true,
+            "--persist" => persist = true,
             _ => {}
         }
         i += 1;
@@ -399,6 +499,11 @@ fn main() {
     if router {
         json.push_str(",\n  \"router\": {\n");
         json.push_str(&router_section(rows, workers));
+        json.push_str("\n  }");
+    }
+    if persist {
+        json.push_str(",\n  \"persistence\": {\n");
+        json.push_str(&persist_section(rows, workers));
         json.push_str("\n  }");
     }
     json.push_str("\n}\n");

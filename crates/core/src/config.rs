@@ -165,6 +165,21 @@ impl ZeroEdConfig {
         self
     }
 
+    /// Attaches a crash-safe on-disk response store: published responses are
+    /// persisted write-through and a new [`crate::ZeroEd`] pointed at the
+    /// same directory warm-starts from it, issuing zero LLM requests for
+    /// already-answered prompts — across process boundaries. Requires the
+    /// cache (the default); the sequential oracle path ignores the store.
+    pub fn with_store(mut self, store: zeroed_runtime::StoreConfig) -> Self {
+        self.runtime.store = Some(store);
+        self
+    }
+
+    /// [`ZeroEdConfig::with_store`] with default store tuning for `dir`.
+    pub fn with_store_dir(self, dir: impl Into<String>) -> Self {
+        self.with_store(zeroed_runtime::StoreConfig::new(dir))
+    }
+
     /// Effective number of correlated attributes after the ablation switch.
     pub fn effective_top_k(&self) -> usize {
         if self.use_corr {
@@ -230,6 +245,20 @@ mod tests {
             ..zeroed_runtime::RuntimeConfig::default()
         });
         assert_eq!(custom.runtime.effective_workers(), 4);
+    }
+
+    #[test]
+    fn store_builders_attach_a_store_config() {
+        let c = ZeroEdConfig::default();
+        assert!(c.runtime.store.is_none());
+        let with = ZeroEdConfig::default().with_store_dir("/tmp/zeroed-store-test");
+        let store = with.runtime.store.as_ref().expect("store configured");
+        assert_eq!(store.dir, "/tmp/zeroed-store-test");
+        let custom = ZeroEdConfig::default().with_store(zeroed_runtime::StoreConfig {
+            capacity: 128,
+            ..zeroed_runtime::StoreConfig::new("d")
+        });
+        assert_eq!(custom.runtime.store.unwrap().capacity, 128);
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //!   path must produce a bit-identical [`ErrorMask`] (asserted by the
 //!   `runtime_equivalence` integration tests), the same discipline
 //!   `zeroed_features::reference` established for the featuriser.
+//!
+//! With [`ZeroEdConfig::with_store`] the concurrent+cache path additionally
+//! persists every published response to a crash-safe on-disk store
+//! (`zeroed-store`) and preloads it at construction, so a *fresh process*
+//! re-running the same detection issues zero LLM requests (asserted by the
+//! `store_warm_start` conformance tests). The sequential oracle ignores the
+//! store by design.
 
 pub mod detector;
 pub mod features;
@@ -30,7 +37,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use zeroed_features::{FeatureBuilder, FeatureConfig};
 use zeroed_llm::{AttributeContext, LlmClient};
-use zeroed_runtime::{CachedLlm, ExecMode, ResponseCache, RouterLlm, Scheduler};
+use zeroed_runtime::{CachedLlm, ExecMode, ResponseCache, RouterLlm, Scheduler, StoreLayer};
 use zeroed_table::{ErrorMask, Table};
 
 /// The ZeroED error detector.
@@ -43,18 +50,52 @@ use zeroed_table::{ErrorMask, Table};
 /// The detector owns the runtime's response cache, which persists across
 /// [`ZeroEd::detect`] calls (and is shared by clones): re-running detection
 /// over the same table and model replays cached responses instead of paying
-/// for the LLM again.
+/// for the LLM again. With [`ZeroEdConfig::with_store`] the cache is also
+/// backed by a crash-safe on-disk store: published responses are written
+/// through in the background, and construction preloads every persisted
+/// response — a *new process* pointed at the same store directory replays
+/// the previous run's answers with zero LLM requests.
 #[derive(Debug, Clone)]
 pub struct ZeroEd {
     config: ZeroEdConfig,
     cache: Arc<ResponseCache>,
+    /// Persistence layer (shared by clones; the last drop drains pending
+    /// writes and syncs the store).
+    store: Option<Arc<StoreLayer>>,
+    /// Records preloaded into the cache from the store at construction.
+    store_preloaded: usize,
 }
 
 impl ZeroEd {
     /// Creates a detector with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ZeroEdConfig::runtime`] names a response-store directory
+    /// that cannot be opened (real I/O errors only — damaged store *content*
+    /// is recovered, never fatal). Use [`ZeroEd::try_new`] to handle the
+    /// error instead.
     pub fn new(config: ZeroEdConfig) -> Self {
+        Self::try_new(config).expect("failed to open the configured response store")
+    }
+
+    /// Creates a detector, surfacing response-store I/O errors.
+    pub fn try_new(config: ZeroEdConfig) -> std::io::Result<Self> {
         let cache = Arc::new(ResponseCache::new(config.runtime.cache_capacity));
-        Self { config, cache }
+        let (store, store_preloaded) = match &config.runtime.store {
+            Some(store_config) => {
+                let layer = StoreLayer::open(store_config.clone())?;
+                let preloaded = layer.preload_into(&cache)?;
+                (Some(Arc::new(layer)), preloaded)
+            }
+            None => (None, 0),
+        };
+        Ok(Self {
+            config,
+            cache,
+            store,
+            store_preloaded,
+        })
     }
 
     /// Creates a detector with the paper's default configuration.
@@ -72,13 +113,26 @@ impl ZeroEd {
         &self.cache
     }
 
+    /// The persistence layer backing the cache, when a store is configured
+    /// (shared with clones of this detector).
+    pub fn store(&self) -> Option<&Arc<StoreLayer>> {
+        self.store.as_ref()
+    }
+
     /// Runs the full pipeline on a dirty table and returns the predicted
     /// error mask together with timings and statistics.
     pub fn detect(&self, dirty: &Table, llm: &dyn LlmClient) -> DetectionOutcome {
         match self.config.runtime.mode {
             ExecMode::Sequential => self.detect_sequential(dirty, llm),
             ExecMode::Concurrent if self.config.runtime.cache => {
-                let cached = CachedLlm::for_table(llm, Arc::clone(&self.cache), dirty);
+                let mut cached = CachedLlm::for_table(llm, Arc::clone(&self.cache), dirty);
+                // A fresh sink per run: its counters attribute write-through
+                // activity to this run alone, even when cloned detectors
+                // share the layer and persist concurrently.
+                let sink = self.store.as_ref().map(|layer| layer.sink());
+                if let Some(sink) = &sink {
+                    cached = cached.with_persistence(sink.clone());
+                }
                 let mut outcome = self.detect_concurrent(dirty, &cached);
                 // Per-adapter counters, not a delta of the shared cache's
                 // global stats: clones of this detector share the cache and
@@ -89,6 +143,22 @@ impl ZeroEd {
                 outcome.stats.cache_misses = stats.misses as usize;
                 outcome.stats.cache_coalesced = stats.coalesced as usize;
                 outcome.stats.cache_tokens_saved = stats.tokens_saved() as usize;
+                outcome.stats.store_hits = stats.store_hits as usize;
+                if let (Some(layer), Some(sink)) = (&self.store, &sink) {
+                    // Wait for the background writer to drain this run's
+                    // offers so the persisted counters are exact (a queue
+                    // barrier, not an fsync — the hot path stayed unblocked).
+                    layer.drain();
+                    let persisted = sink.stats();
+                    outcome.stats.store_persisted_records =
+                        persisted.persisted_records as usize;
+                    outcome.stats.store_persisted_bytes = persisted.persisted_bytes as usize;
+                    outcome.stats.store_preloaded_records = self.store_preloaded;
+                    let recovery = layer.recovery();
+                    outcome.stats.store_recovered_records = recovery.records_recovered;
+                    outcome.stats.store_discarded_tails =
+                        recovery.tails_truncated + recovery.segments_skipped;
+                }
                 outcome
             }
             ExecMode::Concurrent => self.detect_concurrent(dirty, llm),

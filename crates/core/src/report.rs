@@ -78,6 +78,24 @@ pub struct PipelineStats {
     /// Tokens charged to cancelled hedge losers (the price of the tail-latency
     /// win; excluded from the useful-token ledger).
     pub router_hedge_waste_tokens: usize,
+    /// Requests served by responses preloaded from the persisted on-disk
+    /// store (subset of `cache_hits`; 0 when no store is configured). A warm
+    /// cross-process run reports every request here.
+    pub store_hits: usize,
+    /// Persisted records preloaded into the cache when this detector opened
+    /// its store.
+    pub store_preloaded_records: usize,
+    /// Responses written through to the store during this run (the background
+    /// writer is drained before detection returns, so the count is exact).
+    pub store_persisted_records: usize,
+    /// Frame bytes appended to the store during this run.
+    pub store_persisted_bytes: usize,
+    /// Records the store's crash recovery salvaged when it was opened.
+    pub store_recovered_records: usize,
+    /// Records/segments the store's crash recovery had to discard (torn or
+    /// corrupt tails, version-mismatched segments) — truncation events, not
+    /// data this run produced.
+    pub store_discarded_tails: usize,
 }
 
 /// The result of running ZeroED on a dirty table.

@@ -1,0 +1,320 @@
+//! Cross-process warm-start conformance: a second `ZeroEd` instance opening
+//! the persisted response store must reproduce bit-identical masks with
+//! **zero** LLM requests, and its token ledger must reconcile — the warm
+//! run's reported savings equal exactly the cold run's bill.
+//!
+//! "Cross-process" is exercised the way a second process would see it: the
+//! cold detector (and with it the store's writer thread and file handles) is
+//! fully dropped, then a *fresh* detector re-opens the directory and runs
+//! recovery + preload from the bytes on disk alone. The matrix covers the
+//! runtime execution modes: cold runs on the concurrent and routed paths
+//! (the sequential oracle path deliberately bypasses cache and store — it
+//! is the correctness baseline all arms are compared against), warm runs on
+//! the concurrent and routed paths, in all combinations.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use zeroed_core::{RouterConfig, RouterLlm, RuntimeConfig, ZeroEd, ZeroEdConfig};
+use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
+use zeroed_llm::{FaultSchedule, LlmClient, SimLlm, TokenUsage};
+use zeroed_table::ErrorMask;
+
+static DIR_COUNTER: AtomicU32 = AtomicU32::new(0);
+
+fn temp_dir() -> PathBuf {
+    let n = DIR_COUNTER.fetch_add(1, Ordering::SeqCst);
+    let dir = std::env::temp_dir().join(format!("zeroed-warm-start-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn dataset() -> zeroed_datagen::GeneratedDataset {
+    generate(
+        DatasetSpec::Hospital,
+        &GenerateOptions {
+            n_rows: 200,
+            seed: 11,
+            error_spec: None,
+        },
+    )
+}
+
+fn oracle_llm(ds: &zeroed_datagen::GeneratedDataset, seed: u64) -> SimLlm {
+    let types: Vec<_> = ds
+        .injected
+        .iter()
+        .map(|e| ((e.row, e.col), e.error_type))
+        .collect();
+    SimLlm::default_model(seed)
+        .with_oracle(ds.mask.clone())
+        .with_error_types(types)
+}
+
+fn base_config(dir: &std::path::Path) -> ZeroEdConfig {
+    ZeroEdConfig {
+        label_rate: 0.08,
+        ..ZeroEdConfig::fast()
+    }
+    .with_runtime(RuntimeConfig {
+        workers: 4,
+        ..RuntimeConfig::default()
+    })
+    .with_store_dir(dir.to_str().unwrap())
+}
+
+/// How one arm of the matrix executes detection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Arm {
+    Concurrent,
+    Routed,
+}
+
+/// Runs one detection in the given mode against a fresh oracle client,
+/// returning (mask, usage, outcome stats).
+fn run_arm(
+    arm: Arm,
+    detector: &ZeroEd,
+    ds: &zeroed_datagen::GeneratedDataset,
+    seed: u64,
+) -> (ErrorMask, TokenUsage, zeroed_core::PipelineStats) {
+    match arm {
+        Arm::Concurrent => {
+            let llm = oracle_llm(ds, seed);
+            let outcome = detector.detect(&ds.dirty, &llm);
+            (outcome.mask, llm.ledger().usage(), outcome.stats)
+        }
+        Arm::Routed => {
+            // Two response-equivalent backends, one scheduled with faults, so
+            // the routed arm exercises failover on top of persistence.
+            let faults = FaultSchedule {
+                error_rate: 0.2,
+                timeout_rate: 0.1,
+                ..FaultSchedule::healthy(3)
+            };
+            let primary = oracle_llm(ds, seed).with_faults(faults);
+            let replica = oracle_llm(ds, seed);
+            let clients: Vec<&dyn LlmClient> = vec![&primary, &replica];
+            let router = RouterLlm::from_runtime(
+                &RuntimeConfig {
+                    router: Some(RouterConfig::for_backends(2)),
+                    ..detector.config().runtime.clone()
+                },
+                clients,
+            );
+            let outcome = detector.detect_routed(&ds.dirty, &router);
+            let mut usage = primary.ledger().usage();
+            let replica_usage = replica.ledger().usage();
+            usage.requests += replica_usage.requests;
+            usage.input_tokens += replica_usage.input_tokens;
+            usage.output_tokens += replica_usage.output_tokens;
+            (outcome.mask, usage, outcome.stats)
+        }
+    }
+}
+
+/// The full cold→warm matrix for one (cold arm, warm arm) pair.
+fn check_matrix(cold_arm: Arm, warm_arm: Arm) {
+    let ds = dataset();
+    let dir = temp_dir();
+    let seed = 11;
+
+    // The sequential oracle every arm must match (no cache, no store).
+    let llm_seq = oracle_llm(&ds, seed);
+    let seq = ZeroEd::new(
+        ZeroEdConfig {
+            label_rate: 0.08,
+            ..ZeroEdConfig::fast()
+        }
+        .sequential_runtime(),
+    )
+    .detect(&ds.dirty, &llm_seq);
+    let seq_usage = llm_seq.ledger().usage();
+
+    // Cold run: fresh store directory, every request hits the model once and
+    // is written through.
+    let (cold_mask, cold_usage, cold_stats) = {
+        let detector = ZeroEd::new(base_config(&dir));
+        let result = run_arm(cold_arm, &detector, &ds, seed);
+        assert_eq!(
+            result.2.store_preloaded_records, 0,
+            "[{cold_arm:?}→{warm_arm:?}] cold run preloads nothing"
+        );
+        assert_eq!(
+            result.2.store_persisted_records, result.2.cache_misses,
+            "[{cold_arm:?}→{warm_arm:?}] every miss must be written through"
+        );
+        assert!(result.2.store_persisted_bytes > 0);
+        assert_eq!(result.2.store_hits, 0);
+        result
+        // ← the detector (and the store writer) drops here: the "process"
+        //   exits, leaving only the bytes on disk.
+    };
+    assert_eq!(
+        seq.mask, cold_mask,
+        "[{cold_arm:?}→{warm_arm:?}] cold mask diverged from the sequential oracle"
+    );
+    assert_eq!(
+        cold_usage.input_tokens + cold_usage.output_tokens + cold_stats.cache_tokens_saved,
+        seq_usage.input_tokens + seq_usage.output_tokens,
+        "[{cold_arm:?}→{warm_arm:?}] cold tokens + dedup savings = sequential bill"
+    );
+
+    // Warm run: a brand-new detector (fresh cache) re-opens the store.
+    let warm_detector = ZeroEd::new(base_config(&dir));
+    let (warm_mask, warm_usage, warm_stats) = run_arm(warm_arm, &warm_detector, &ds, seed);
+
+    // 1. Bit-identical masks.
+    assert_eq!(
+        seq.mask, warm_mask,
+        "[{cold_arm:?}→{warm_arm:?}] warm mask diverged"
+    );
+    // 2. Zero LLM requests — the model is never consulted.
+    assert_eq!(
+        warm_usage,
+        TokenUsage::default(),
+        "[{cold_arm:?}→{warm_arm:?}] warm run must not touch any backend"
+    );
+    if warm_arm == Arm::Routed {
+        assert_eq!(
+            warm_stats.router_requests, 0,
+            "cache hits must short-circuit before routing"
+        );
+    }
+    // 3. Every request is a store hit; nothing is re-persisted.
+    assert_eq!(warm_stats.cache_misses, 0);
+    assert_eq!(warm_stats.cache_hits, warm_stats.store_hits);
+    assert_eq!(warm_stats.store_persisted_records, 0);
+    assert_eq!(
+        warm_stats.store_preloaded_records, cold_stats.store_persisted_records,
+        "[{cold_arm:?}→{warm_arm:?}] preload must replay the whole cold store"
+    );
+    assert_eq!(warm_stats.store_recovered_records, cold_stats.store_persisted_records);
+    // 4. Ledger reconciliation: the warm run's reported savings are exactly
+    //    the sequential bill (= what the cold run paid in total, dedup
+    //    savings included).
+    assert_eq!(
+        warm_stats.cache_tokens_saved,
+        seq_usage.input_tokens + seq_usage.output_tokens,
+        "[{cold_arm:?}→{warm_arm:?}] warm savings must equal the full sequential token bill"
+    );
+    assert_eq!(warm_stats.cache_hits, seq_usage.requests);
+
+    drop(warm_detector);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_start_concurrent_to_concurrent() {
+    check_matrix(Arm::Concurrent, Arm::Concurrent);
+}
+
+#[test]
+fn warm_start_concurrent_to_routed() {
+    check_matrix(Arm::Concurrent, Arm::Routed);
+}
+
+#[test]
+fn warm_start_routed_to_concurrent() {
+    check_matrix(Arm::Routed, Arm::Concurrent);
+}
+
+#[test]
+fn warm_start_routed_to_routed() {
+    check_matrix(Arm::Routed, Arm::Routed);
+}
+
+#[test]
+fn warm_start_survives_truncation_of_the_last_segment() {
+    // Chop bytes off the persisted store's final segment, then warm-start:
+    // recovery truncates the torn tail and the missing responses are simply
+    // recomputed — the mask must stay bit-identical and the store usable.
+    let ds = dataset();
+    let dir = temp_dir();
+    let seed = 13;
+
+    let cold_stats = {
+        let detector = ZeroEd::new(base_config(&dir));
+        let llm = oracle_llm(&ds, seed);
+        detector.detect(&ds.dirty, &llm).stats
+    };
+    assert!(cold_stats.store_persisted_records > 0);
+    let oracle_mask = {
+        let llm = oracle_llm(&ds, seed);
+        ZeroEd::new(
+            ZeroEdConfig {
+                label_rate: 0.08,
+                ..ZeroEdConfig::fast()
+            }
+            .sequential_runtime(),
+        )
+        .detect(&ds.dirty, &llm)
+        .mask
+    };
+
+    // Damage the newest segment: drop the last 30% of its bytes.
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    segments.sort();
+    let last = segments.last().unwrap();
+    let bytes = std::fs::read(last).unwrap();
+    std::fs::write(last, &bytes[..bytes.len() * 7 / 10]).unwrap();
+
+    let detector = ZeroEd::new(base_config(&dir));
+    let llm = oracle_llm(&ds, seed);
+    let outcome = detector.detect(&ds.dirty, &llm);
+    assert_eq!(outcome.mask, oracle_mask, "recovered warm run must stay bit-identical");
+    assert!(
+        outcome.stats.store_recovered_records < cold_stats.store_persisted_records,
+        "truncation must have cost some records"
+    );
+    assert!(outcome.stats.store_discarded_tails >= 1);
+    assert!(outcome.stats.store_hits > 0, "the surviving prefix still serves");
+    assert!(
+        outcome.stats.cache_misses > 0,
+        "lost responses are recomputed, not lost"
+    );
+    assert_eq!(
+        outcome.stats.store_persisted_records, outcome.stats.cache_misses,
+        "recomputed responses are re-persisted"
+    );
+    drop(detector);
+
+    // Third generation: fully warm again (recomputed entries were written).
+    let detector = ZeroEd::new(base_config(&dir));
+    let llm = oracle_llm(&ds, seed);
+    let outcome = detector.detect(&ds.dirty, &llm);
+    assert_eq!(outcome.mask, oracle_mask);
+    assert_eq!(outcome.stats.cache_misses, 0);
+    assert_eq!(llm.ledger().usage(), TokenUsage::default());
+    drop(detector);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sequential_mode_ignores_the_store_by_design() {
+    // The sequential path is the correctness oracle: no scheduler, no cache,
+    // no store — even when a store directory is configured.
+    let ds = dataset();
+    let dir = temp_dir();
+    let llm = oracle_llm(&ds, 17);
+    let detector = ZeroEd::new(
+        ZeroEdConfig {
+            label_rate: 0.08,
+            ..ZeroEdConfig::fast()
+        }
+        .sequential_runtime()
+        .with_store_dir(dir.to_str().unwrap()),
+    );
+    let outcome = detector.detect(&ds.dirty, &llm);
+    assert!(llm.ledger().usage().requests > 0);
+    assert_eq!(outcome.stats.store_persisted_records, 0);
+    assert_eq!(outcome.stats.store_hits, 0);
+    drop(detector);
+    // Nothing was written: a later open recovers zero records.
+    let detector = ZeroEd::new(base_config(&dir));
+    assert_eq!(detector.store().unwrap().recovery().records_recovered, 0);
+    drop(detector);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -178,6 +178,21 @@ pub trait LlmClient: Send + Sync {
     /// context. Returns one flag per column (`true` = error).
     fn detect_tuple(&self, table: &Table, row: usize) -> Vec<bool>;
 
+    /// The model identity a caching layer folds into its content-addressed
+    /// request keys (and persists with stored responses).
+    ///
+    /// Defaults to [`LlmClient::name`]. Composite clients whose *responses*
+    /// are those of an underlying model override this: the multi-backend
+    /// router in `zeroed-runtime` answers with whatever its
+    /// response-equivalent backends answer, so it reports the backends'
+    /// identity rather than its own `router[...]` display name — a routed run
+    /// and a single-backend run then share cache entries (and cross-process
+    /// store entries), which is what makes warm starts work across execution
+    /// modes.
+    fn cache_identity(&self) -> &str {
+        self.name()
+    }
+
     /// Hash of any *hidden* per-request state a caching layer must fold into
     /// its content-addressed request keys.
     ///

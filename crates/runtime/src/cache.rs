@@ -11,23 +11,23 @@ use crate::key::RequestKey;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use zeroed_criteria::CriteriaSet;
-use zeroed_llm::{DistributionAnalysis, Guideline};
 
 /// A structured LLM response, stored by value so a hit replays the exact
 /// object the wrapped client originally returned.
-#[derive(Debug, Clone)]
-pub enum CachedResponse {
-    /// Criteria set (`generate_criteria` / `refine_criteria`).
-    Criteria(CriteriaSet),
-    /// Distribution analysis.
-    Analysis(DistributionAnalysis),
-    /// Detection guideline.
-    Guideline(Guideline),
-    /// Per-row labels (`label_batch`) or per-column flags (`detect_tuple`).
-    Flags(Vec<bool>),
-    /// Fabricated error values (`augment_errors`).
-    Values(Vec<String>),
+///
+/// This is `zeroed-store`'s [`zeroed_store::ResponseValue`] re-exported: the
+/// on-disk codec and the in-memory cache share one value type, so persisting
+/// and warm-start preloading involve no conversion at all.
+pub use zeroed_store::ResponseValue as CachedResponse;
+
+/// Where a published response came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseOrigin {
+    /// Computed by the wrapped client in this process.
+    Computed,
+    /// Preloaded from the persisted response store (a cross-process warm
+    /// start); hits on such entries count as `store_hits`.
+    Persisted,
 }
 
 /// A published response plus the token cost its original call charged.
@@ -39,6 +39,8 @@ pub struct StoredResponse {
     pub input_tokens: usize,
     /// Completion tokens the original call produced.
     pub output_tokens: usize,
+    /// Provenance (computed here vs preloaded from the store).
+    pub origin: ResponseOrigin,
 }
 
 enum Slot {
@@ -95,6 +97,14 @@ pub struct CacheStats {
     pub output_tokens_saved: u64,
     /// Generational flushes triggered by the capacity bound.
     pub flushes: u64,
+    /// Completed entries evicted by those flushes. Store write-through uses
+    /// this to account for entries dropped from memory: a flushed entry that
+    /// was persisted remains servable across processes, one that was not is
+    /// recomputed on next request.
+    pub flushed_entries: u64,
+    /// Hits served by entries preloaded from the persisted response store
+    /// (subset of `hits`).
+    pub store_hits: u64,
 }
 
 impl CacheStats {
@@ -112,6 +122,8 @@ impl CacheStats {
             input_tokens_saved: self.input_tokens_saved - earlier.input_tokens_saved,
             output_tokens_saved: self.output_tokens_saved - earlier.output_tokens_saved,
             flushes: self.flushes - earlier.flushes,
+            flushed_entries: self.flushed_entries - earlier.flushed_entries,
+            store_hits: self.store_hits - earlier.store_hits,
         }
     }
 }
@@ -124,6 +136,8 @@ struct Counters {
     input_tokens_saved: AtomicU64,
     output_tokens_saved: AtomicU64,
     flushes: AtomicU64,
+    flushed_entries: AtomicU64,
+    store_hits: AtomicU64,
 }
 
 /// Thread-safe single-flight response cache.
@@ -190,6 +204,8 @@ impl ResponseCache {
             input_tokens_saved: self.counters.input_tokens_saved.load(Ordering::Relaxed),
             output_tokens_saved: self.counters.output_tokens_saved.load(Ordering::Relaxed),
             flushes: self.counters.flushes.load(Ordering::Relaxed),
+            flushed_entries: self.counters.flushed_entries.load(Ordering::Relaxed),
+            store_hits: self.counters.store_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -197,6 +213,9 @@ impl ResponseCache {
         self.counters.hits.fetch_add(1, Ordering::Relaxed);
         if coalesced {
             self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+        if stored.origin == ResponseOrigin::Persisted {
+            self.counters.store_hits.fetch_add(1, Ordering::Relaxed);
         }
         self.counters
             .input_tokens_saved
@@ -208,20 +227,58 @@ impl ResponseCache {
 
     /// Evicts completed entries, retaining in-flight computations and any
     /// entry with parked waiters (either would orphan callers otherwise).
-    /// Counters are untouched; the eviction itself is counted by the
-    /// capacity-triggered path only.
-    fn flush_locked(map: &mut HashMap<RequestKey, Entry>) {
+    /// Returns how many entries were evicted; counters are the caller's job.
+    fn flush_locked(map: &mut HashMap<RequestKey, Entry>) -> usize {
+        let before = map.len();
         map.retain(|_, entry| matches!(entry.slot, Slot::InFlight) || entry.waiters > 0);
+        before - map.len()
     }
 
-    /// Drops every completed entry (an explicit generational flush). Entries
-    /// that are still in flight, or whose response has parked waiters that
-    /// have not consumed it yet, survive — flushing can never orphan a
-    /// caller or force a duplicate computation.
-    pub fn flush(&self) {
+    /// Drops every completed entry (an explicit generational flush) and
+    /// returns how many entries were evicted. Entries that are still in
+    /// flight, or whose response has parked waiters that have not consumed it
+    /// yet, survive — flushing can never orphan a caller or force a duplicate
+    /// computation. Store write-through layers use the count (also summed in
+    /// [`CacheStats::flushed_entries`]) to account for entries dropped from
+    /// memory before or after persistence.
+    pub fn flush(&self) -> usize {
         let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
-        Self::flush_locked(&mut map);
+        let evicted = Self::flush_locked(&mut map);
+        drop(map);
         self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .flushed_entries
+            .fetch_add(evicted as u64, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Inserts a completed response for `key` without counting a miss or a
+    /// hit — the warm-start preload path from a persisted store. Returns
+    /// `false` (and drops `response`) when the key is already present
+    /// (published or in flight) or the preload budget is exhausted.
+    ///
+    /// The budget is the capacity minus a 1/8 headroom (for capacities ≥ 8):
+    /// filling the map *exactly* to capacity would make the very next novel
+    /// request trigger a generational flush that evicts every preloaded
+    /// entry — a warm start silently discarded. The headroom lets a run
+    /// absorb novel requests while keeping the preloaded generation alive.
+    pub fn preload(&self, key: RequestKey, response: StoredResponse) -> bool {
+        use std::collections::hash_map::Entry as MapEntry;
+        let budget = self.capacity - self.capacity / 8;
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if map.len() >= budget {
+            return false;
+        }
+        match map.entry(key) {
+            MapEntry::Occupied(_) => false,
+            MapEntry::Vacant(slot) => {
+                slot.insert(Entry {
+                    slot: Slot::Ready(Arc::new(response)),
+                    waiters: 0,
+                });
+                true
+            }
+        }
     }
 
     /// Returns the response for `key` (and how it was obtained), computing it
@@ -290,8 +347,11 @@ impl ResponseCache {
                         // Generational flush: drop completed entries, keep
                         // in-flight slots and pinned responses alive for
                         // their waiters.
-                        Self::flush_locked(&mut map);
+                        let evicted = Self::flush_locked(&mut map);
                         self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+                        self.counters
+                            .flushed_entries
+                            .fetch_add(evicted as u64, Ordering::Relaxed);
                     }
                     map.insert(
                         key,
@@ -381,6 +441,7 @@ mod tests {
             value: CachedResponse::Flags(vec![flag]),
             input_tokens: 10,
             output_tokens: 3,
+            origin: ResponseOrigin::Computed,
         }
     }
 
@@ -601,6 +662,94 @@ mod tests {
         });
         // The in-flight entry completed normally after the flush.
         let (_, lookup) = cache.get_or_compute(test_key(2), || response(true));
+        assert_eq!(lookup, Lookup::Hit { coalesced: false });
+    }
+
+    #[test]
+    fn flush_reports_how_many_entries_it_evicted() {
+        let cache = ResponseCache::new(64);
+        for i in 0..5 {
+            let _ = cache.get_or_compute(test_key(i), || response(true));
+        }
+        assert_eq!(cache.flush(), 5);
+        assert_eq!(cache.flush(), 0, "second flush has nothing left");
+        let stats = cache.stats();
+        assert_eq!(stats.flushes, 2);
+        assert_eq!(stats.flushed_entries, 5);
+    }
+
+    #[test]
+    fn capacity_flush_counts_evicted_entries_too() {
+        let cache = ResponseCache::new(2);
+        for i in 0..3 {
+            let _ = cache.get_or_compute(test_key(i), || response(true));
+        }
+        let stats = cache.stats();
+        assert!(stats.flushes >= 1);
+        assert!(stats.flushed_entries >= 2);
+    }
+
+    #[test]
+    fn preloaded_entries_hit_without_a_miss_and_count_store_hits() {
+        let cache = ResponseCache::new(16);
+        let preloaded = StoredResponse {
+            value: CachedResponse::Flags(vec![true, true]),
+            input_tokens: 40,
+            output_tokens: 4,
+            origin: ResponseOrigin::Persisted,
+        };
+        assert!(cache.preload(test_key(1), preloaded));
+        // Re-preloading the same key is refused.
+        assert!(!cache.preload(test_key(1), response(false)));
+
+        let calls = AtomicUsize::new(0);
+        let (stored, lookup) = cache.get_or_compute(test_key(1), || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            response(false)
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "preload must satisfy the request");
+        assert_eq!(lookup, Lookup::Hit { coalesced: false });
+        match &stored.value {
+            CachedResponse::Flags(f) => assert_eq!(f, &vec![true, true]),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.store_hits, 1);
+        assert_eq!(stats.misses, 0);
+        // The replayed savings are the persisted token counts, exactly.
+        assert_eq!(stats.input_tokens_saved, 40);
+        assert_eq!(stats.output_tokens_saved, 4);
+    }
+
+    #[test]
+    fn preload_respects_the_capacity_bound() {
+        let cache = ResponseCache::new(2);
+        assert!(cache.preload(test_key(1), response(true)));
+        assert!(cache.preload(test_key(2), response(true)));
+        assert!(!cache.preload(test_key(3), response(true)), "cache full");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn preload_leaves_headroom_so_a_novel_miss_cannot_wipe_the_warm_start() {
+        // Capacity 16 → preload budget 14. Filling to capacity would make
+        // the first novel request's generational flush evict every preloaded
+        // entry; the headroom keeps the warm generation alive.
+        let cache = ResponseCache::new(16);
+        let mut loaded = 0;
+        for i in 0..16 {
+            if cache.preload(test_key(i), response(true)) {
+                loaded += 1;
+            }
+        }
+        assert_eq!(loaded, 14, "1/8 headroom withheld");
+        // A novel request computes without flushing the preloads.
+        let (_, lookup) = cache.get_or_compute(test_key(100), || response(false));
+        assert_eq!(lookup, Lookup::Miss);
+        assert_eq!(cache.stats().flushes, 0, "no flush while headroom lasts");
+        // Preloaded entries still serve.
+        let (_, lookup) = cache.get_or_compute(test_key(0), || response(false));
         assert_eq!(lookup, Lookup::Hit { coalesced: false });
     }
 

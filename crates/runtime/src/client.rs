@@ -14,8 +14,11 @@
 //! prompt never serialises. Requests about any *other* table must not go
 //! through the same adapter.
 
-use crate::cache::{CacheStats, CachedResponse, Lookup, ResponseCache, StoredResponse};
+use crate::cache::{
+    CacheStats, CachedResponse, Lookup, ResponseCache, ResponseOrigin, StoredResponse,
+};
 use crate::key::{table_fingerprint, RequestKey, RequestKeyBuilder, RequestKind};
+use crate::persist::StoreSink;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use zeroed_criteria::CriteriaSet;
@@ -30,6 +33,9 @@ pub struct CachedLlm<'a> {
     inner: &'a dyn LlmClient,
     cache: Arc<ResponseCache>,
     table_fp: u64,
+    /// Write-through persistence: misses are offered here (off the hot path)
+    /// so later processes can warm-start from the on-disk store.
+    persist: Option<StoreSink>,
     /// Activity of *this adapter only*. The shared cache's counters aggregate
     /// every consumer; a detection run reads these instead so its
     /// `PipelineStats` stay correct even when cloned detectors sharing the
@@ -44,6 +50,7 @@ struct LocalCounters {
     coalesced: AtomicU64,
     input_tokens_saved: AtomicU64,
     output_tokens_saved: AtomicU64,
+    store_hits: AtomicU64,
 }
 
 impl std::fmt::Debug for CachedLlm<'_> {
@@ -64,8 +71,18 @@ impl<'a> CachedLlm<'a> {
             inner,
             cache,
             table_fp: table_fingerprint(table),
+            persist: None,
             local: LocalCounters::default(),
         }
+    }
+
+    /// Attaches a write-through persistence sink: every miss this adapter
+    /// resolves is offered to the sink (asynchronously — the hot path never
+    /// waits on disk), so the backing [`crate::StoreLayer`]'s store can
+    /// warm-start later processes.
+    pub fn with_persistence(mut self, sink: StoreSink) -> Self {
+        self.persist = Some(sink);
+        self
     }
 
     /// The shared cache handle.
@@ -73,8 +90,8 @@ impl<'a> CachedLlm<'a> {
         &self.cache
     }
 
-    /// Cache activity attributable to this adapter alone (`flushes` is a
-    /// store-wide property and always 0 here).
+    /// Cache activity attributable to this adapter alone (`flushes` /
+    /// `flushed_entries` are store-wide properties and always 0 here).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.local.hits.load(Ordering::Relaxed),
@@ -83,11 +100,16 @@ impl<'a> CachedLlm<'a> {
             input_tokens_saved: self.local.input_tokens_saved.load(Ordering::Relaxed),
             output_tokens_saved: self.local.output_tokens_saved.load(Ordering::Relaxed),
             flushes: 0,
+            flushed_entries: 0,
+            store_hits: self.local.store_hits.load(Ordering::Relaxed),
         }
     }
 
     fn key_builder(&self, kind: RequestKind) -> RequestKeyBuilder {
-        let mut b = RequestKey::builder(kind, self.inner.name());
+        // `cache_identity`, not `name`: composite clients (the router)
+        // answer with their backends' responses and share their identity, so
+        // cached — and persisted — entries stay valid across execution modes.
+        let mut b = RequestKey::builder(kind, self.inner.cache_identity());
         b.word(self.table_fp);
         b
     }
@@ -109,16 +131,25 @@ impl<'a> CachedLlm<'a> {
                 input_tokens: count_tokens(prompt),
                 output_tokens: count_tokens(&response),
                 value,
+                origin: ResponseOrigin::Computed,
             }
         });
         match lookup {
             Lookup::Miss => {
                 self.local.misses.fetch_add(1, Ordering::Relaxed);
+                // Write-through: offer the freshly computed response for
+                // persistence. Asynchronous — publishing never waits on I/O.
+                if let Some(sink) = &self.persist {
+                    sink.offer(key, &stored);
+                }
             }
             Lookup::Hit { coalesced } => {
                 self.local.hits.fetch_add(1, Ordering::Relaxed);
                 if coalesced {
                     self.local.coalesced.fetch_add(1, Ordering::Relaxed);
+                }
+                if stored.origin == ResponseOrigin::Persisted {
+                    self.local.store_hits.fetch_add(1, Ordering::Relaxed);
                 }
                 self.local
                     .input_tokens_saved
@@ -273,10 +304,12 @@ impl LlmClient for CachedLlm<'_> {
         let salt = self.inner.request_salt(ctx.table, Some(ctx.column), &[]);
         let mut b = self.key_builder(RequestKind::Refine);
         // The contrastive prompt does not serialise the existing criteria the
-        // refinement starts from, so fold their (stable) debug rendering in.
+        // refinement starts from, so fold their full *canonical* encoding in
+        // (sorted collections — `Debug` would vary with `HashSet` iteration
+        // order across processes, splitting persisted warm-start keys).
         b.column(Some(ctx.column))
             .text(&prompt)
-            .text(&format!("{existing:?}"))
+            .bytes(&zeroed_store::canonical_criteria(existing))
             .word(salt);
         let stored = self.resolve(
             b.finish(),
@@ -338,6 +371,10 @@ impl LlmClient for CachedLlm<'_> {
 
     fn request_salt(&self, table: &Table, column: Option<usize>, rows: &[usize]) -> u64 {
         self.inner.request_salt(table, column, rows)
+    }
+
+    fn cache_identity(&self) -> &str {
+        self.inner.cache_identity()
     }
 }
 

@@ -62,9 +62,19 @@ impl RequestKey {
         b
     }
 
-    /// The raw 128 bits (for diagnostics/logging).
+    /// The raw 128 bits (for diagnostics/logging and the persisted-store
+    /// index, which keys records by this value).
     pub fn to_u128(self) -> u128 {
         ((self.hi as u128) << 64) | self.lo as u128
+    }
+
+    /// Rebuilds a key from its raw 128 bits (the persisted-store preload
+    /// path). Inverse of [`RequestKey::to_u128`].
+    pub fn from_u128(raw: u128) -> Self {
+        Self {
+            hi: (raw >> 64) as u64,
+            lo: raw as u64,
+        }
     }
 }
 
@@ -91,8 +101,16 @@ impl RequestKeyBuilder {
 
     /// Folds a string (length-prefixed so concatenations cannot collide).
     pub fn text(&mut self, text: &str) -> &mut Self {
-        self.word(text.len() as u64);
-        for chunk in text.as_bytes().chunks(8) {
+        self.bytes(text.as_bytes())
+    }
+
+    /// Folds a raw byte string (length-prefixed, chunked into words exactly
+    /// like [`RequestKeyBuilder::text`]) — for canonical binary encodings
+    /// whose full content must participate in the 128-bit mix rather than
+    /// being bottlenecked through a narrower digest.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.word(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
             let mut buf = [0u8; 8];
             buf[..chunk.len()].copy_from_slice(chunk);
             self.word(u64::from_le_bytes(buf));

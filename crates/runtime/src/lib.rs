@@ -77,23 +77,63 @@
 //! `sequential total = Σ per-backend useful tokens + cache savings`, with
 //! hedge waste reported separately.
 //!
-//! The conformance contract — routed masks bit-identical to a single-backend
-//! sequential oracle under every fault schedule, ledgers reconciling to the
-//! token — is enforced by `tests/router_conformance.rs`; scheduler liveness
-//! under saturation and hostile tasks by `tests/scheduler_stress.rs`; and
-//! [`RequestKey`] derivation stability (the contract for cross-process cache
-//! persistence, the next roadmap item) by `tests/request_key_golden.rs`.
+//! ## Cross-process persistence
+//!
+//! The response cache is in-memory; [`StoreLayer`] extends station 4 across
+//! *process* boundaries by writing every published response through to a
+//! crash-safe on-disk segment store (`zeroed-store`), keyed by the same
+//! 128-bit [`RequestKey`]:
+//!
+//! ```text
+//!            publish (miss)                       open (warm start)
+//! CachedLlm ───────────────▶ StoreSink ─┐   ┌──▶ preload_into(ResponseCache)
+//!                                       ▼   │
+//!                        writer thread ──▶ ResponseStore (seg-NNNNNN.zseg)
+//! ```
+//!
+//! Persistence is **write-through and asynchronous**: a miss enqueues the
+//! `(key, response)` pair and returns — the worker pool never blocks on an
+//! fsync. A fresh detector pointed at the same store directory preloads every
+//! live record into its cache as `Persisted` entries before the first
+//! request, so a benchmark re-run, service restart or second experiment bin
+//! issues **zero** LLM calls and reproduces bit-identical masks (the warm-hit
+//! replays the exact stored value and charges the exact persisted token cost
+//! as savings — the ledger reconciles to the cold run's bill). Recovery
+//! tolerates torn tails, flipped bits and zero-length segments by truncating
+//! or skipping, never by refusing to open; see `zeroed-store`'s crate docs
+//! for the segment format and the versioning rules.
+//!
+//! The persistence contract rests on [`RequestKey`] stability: the store's
+//! `KEY_SCHEMA_VERSION` is pinned against the golden 128-bit key values in
+//! `tests/request_key_golden.rs`, so a hash-input reordering that would
+//! silently invalidate persisted entries fails CI instead.
+//!
+//! ## Conformance suites
+//!
+//! The contract — routed masks bit-identical to a single-backend sequential
+//! oracle under every fault schedule, ledgers reconciling to the token — is
+//! enforced by `tests/router_conformance.rs`; scheduler liveness under
+//! saturation and hostile tasks by `tests/scheduler_stress.rs`;
+//! [`RequestKey`] derivation stability and the persisted-format version pins
+//! by `tests/request_key_golden.rs`; and the cross-process warm start
+//! (cold run → reopen in a fresh detector → zero-request warm run) by
+//! `crates/core/tests/store_warm_start.rs`.
 
 pub mod cache;
 pub mod client;
 pub mod key;
+pub mod persist;
 pub mod router;
 pub mod scheduler;
 
-pub use cache::{CacheStats, CachedResponse, Lookup, ResponseCache, StoredResponse};
+pub use cache::{
+    CacheStats, CachedResponse, Lookup, ResponseCache, ResponseOrigin, StoredResponse,
+};
 pub use client::CachedLlm;
 pub use key::{RequestKey, RequestKeyBuilder, RequestKind};
+pub use persist::{PersistStats, StoreLayer, StoreSink};
 pub use router::{
     BackendConfig, BackendStats, BreakerPolicy, HedgePolicy, RouterConfig, RouterLlm, RouterStats,
 };
 pub use scheduler::{ExecMode, RuntimeConfig, Scheduler, SchedulerStats};
+pub use zeroed_store::{FsyncPolicy, RecoveryReport, StoreConfig, StoreStats};

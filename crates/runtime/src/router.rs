@@ -871,6 +871,15 @@ impl LlmClient for RouterLlm<'_> {
         // stands for the ensemble (used by CachedLlm stacking on top).
         self.backends[0].client.request_salt(table, column, rows)
     }
+
+    fn cache_identity(&self) -> &str {
+        // The router's *responses* are its backends' responses (the
+        // response-equivalence contract), so cache keys — and persisted store
+        // entries — carry the backend identity, not the `router[...]` display
+        // name. A routed warm start can then replay entries a single-backend
+        // run persisted, and vice versa.
+        self.backends[0].client.cache_identity()
+    }
 }
 
 #[cfg(test)]

@@ -46,6 +46,13 @@ pub struct RuntimeConfig {
     /// [`crate::RouterLlm::from_runtime`] fall back to
     /// [`crate::RouterConfig::for_backends`] defaults in that case.
     pub router: Option<crate::router::RouterConfig>,
+    /// Crash-safe on-disk response store (see [`zeroed_store::StoreConfig`]):
+    /// when set, published responses are persisted write-through and a new
+    /// detector warm-starts its cache from the store directory — repeated
+    /// sweeps and service restarts skip the LLM across processes. `None` (the
+    /// default) keeps the cache purely in-memory. Requires `cache`; the
+    /// sequential oracle path ignores it by design.
+    pub store: Option<zeroed_store::StoreConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -58,6 +65,7 @@ impl Default for RuntimeConfig {
             cache: true,
             cache_capacity: 1 << 20,
             router: None,
+            store: None,
         }
     }
 }

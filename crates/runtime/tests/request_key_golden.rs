@@ -10,7 +10,10 @@
 //! kind, model, column, rows, prompt, salt — independently perturbs the key.
 //!
 //! If a test here fails because key derivation changed *intentionally*, bump
-//! the persisted-cache format version alongside the new golden values.
+//! `zeroed_store::KEY_SCHEMA_VERSION` alongside the new golden values — the
+//! persisted store stamps that version into every segment header and skips
+//! segments written under a different scheme, so entries keyed by the old
+//! derivation are never consulted by a process hashing with the new one.
 
 use zeroed_runtime::key::table_fingerprint;
 use zeroed_runtime::{RequestKey, RequestKind};
@@ -73,6 +76,21 @@ fn golden_128bit_keys_for_fixed_inputs() {
     // Degenerate key: no inputs beyond the kind/model prefix.
     let empty = RequestKey::builder(RequestKind::Analysis, "").finish();
     assert_eq!(empty.to_u128(), 0xd62cc11a4a0be0e7121e3e94b64937e0);
+}
+
+#[test]
+fn store_key_schema_version_is_pinned_with_these_golden_keys() {
+    // The persistence format versions and the golden keys above are one
+    // contract: segments stamped `KEY_SCHEMA_VERSION = 1` hold entries keyed
+    // by exactly the derivation these tests freeze. Changing key derivation
+    // without bumping the schema version (or vice versa) silently corrupts
+    // warm starts, so the pairing is asserted here.
+    assert_eq!(zeroed_store::KEY_SCHEMA_VERSION, 1);
+    assert_eq!(zeroed_store::FORMAT_VERSION, 1);
+    // Round-trip through the store's index key: a warm-starting process
+    // rebuilds RequestKeys from persisted u128s.
+    let key = RequestKey::builder(RequestKind::LabelBatch, "m").finish();
+    assert_eq!(RequestKey::from_u128(key.to_u128()), key);
 }
 
 #[test]

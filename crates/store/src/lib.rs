@@ -1,0 +1,90 @@
+//! # zeroed-store
+//!
+//! Crash-safe, versioned, append-only persistence of completed LLM responses
+//! keyed by `zeroed-runtime`'s 128-bit `RequestKey` — the cross-process warm
+//! start underneath the in-memory `ResponseCache`.
+//!
+//! ZeroED's dominant cost is the LLM reasoning stage: criteria analysis,
+//! guideline generation and batch labelling re-issue largely identical
+//! prompts across benchmark sweeps, service restarts and multi-dataset
+//! experiment bins. The runtime already dedups those calls *in-process*; this
+//! crate persists every published response so a *later process* can replay
+//! them and skip the model entirely.
+//!
+//! ## Layout
+//!
+//! A store is a directory of numbered segment files:
+//!
+//! ```text
+//! store-dir/
+//!   seg-000000.zseg      sealed segment (earlier generation)
+//!   seg-000001.zseg      sealed segment
+//!   seg-000002.zseg      active segment (this process appends here)
+//!
+//! segment file:
+//! ┌──────────────────────────── header (28 bytes) ────────────────────────────┐
+//! │ magic "ZEDSTOR1" │ format u16 │ key schema u16 │ segment id u64 │ cksum u64│
+//! ├──────────────────────────── record frames ────────────────────────────────┤
+//! │ len u32 │ checksum u64 │ payload: key u128 · tokens 2×u64 · value         │
+//! │ len u32 │ checksum u64 │ payload                                          │
+//! │ ...                                                                       │
+//! └───────────────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Records are length-prefixed and content-checksummed ([`codec::checksum64`]
+//! over the payload, which starts with the request key). Appending the same
+//! key again *supersedes* the earlier record: readers resolve duplicates to
+//! the highest `(segment id, offset)`, which makes last-write-wins hold
+//! across crashes and half-finished compactions.
+//!
+//! ## Crash safety
+//!
+//! Recovery ([`ResponseStore::open`]) scans segments in id order and
+//! tolerates arbitrary damage without refusing to open:
+//!
+//! * a **torn tail** (partial final write) is truncated at the first bad
+//!   frame — the valid prefix is recovered exactly;
+//! * a **flipped bit** fails the frame checksum and truncates the same way;
+//! * a **zero-length or foreign file** fails header validation and is skipped
+//!   wholesale (reclaimed at the next compaction);
+//! * a **crash mid-compaction** leaves both generations on disk; the new one
+//!   has higher segment ids, so duplicate resolution serves its records, and
+//!   a torn new generation simply falls back to the still-present old one.
+//!
+//! Appends always go to a *fresh* segment (never a recovered tail), so one
+//! damaged run cannot poison the next. The [`FsyncPolicy`] decides when data
+//! is forced to disk: per record, on segment seal, or never.
+//!
+//! ## Versioning rules
+//!
+//! The header pins two versions, checked on open:
+//!
+//! * [`FORMAT_VERSION`] — the byte layout of headers, frames and values. Bump
+//!   it when the encoding changes; old segments are then skipped (a warm
+//!   start degrades to a cold run, never to garbage).
+//! * [`KEY_SCHEMA_VERSION`] — the `RequestKey` derivation scheme, frozen by
+//!   the golden-key suite in `crates/runtime/tests/request_key_golden.rs`. If
+//!   key derivation changes *intentionally*, bump this constant together with
+//!   the golden values: persisted entries keyed under the old scheme must not
+//!   be consulted by a process hashing under the new one.
+//!
+//! `zeroed-runtime` asserts both constants alongside its golden keys, so a
+//! drive-by change to either contract fails CI.
+//!
+//! ## Compaction
+//!
+//! Superseded and capacity-evicted records are dead weight. When the
+//! dead-to-live ratio crosses [`StoreConfig::compact_threshold`], the store
+//! rewrites every live record into a fresh generation (fsynced before any old
+//! file is deleted) and removes the previous segments.
+
+pub mod codec;
+pub mod segment;
+pub mod store;
+
+pub use codec::{
+    canonical_criteria, checksum64, DecodeError, ResponseValue, StoreRecord, FORMAT_VERSION,
+    KEY_SCHEMA_VERSION,
+};
+pub use segment::{HeaderIssue, HEADER_LEN, MAGIC};
+pub use store::{FsyncPolicy, RecoveryReport, ResponseStore, StoreConfig, StoreStats};

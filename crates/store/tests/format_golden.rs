@@ -1,0 +1,74 @@
+//! Byte-pinned golden encodings of the on-disk format.
+//!
+//! The same discipline `crates/runtime/tests/request_key_golden.rs` applies
+//! to key derivation: a store written by one build must be readable by every
+//! later build, so the exact bytes of segment headers and record frames are
+//! frozen here. If a test fails because the encoding changed *intentionally*,
+//! bump [`zeroed_store::FORMAT_VERSION`] (old segments are then skipped on
+//! open instead of misread) and update the golden bytes.
+
+use zeroed_store::codec::encode_record;
+use zeroed_store::segment::encode_header;
+use zeroed_store::{checksum64, ResponseValue, StoreRecord, FORMAT_VERSION, KEY_SCHEMA_VERSION};
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[test]
+fn format_versions_are_pinned() {
+    // Both constants participate in the golden bytes below; bump them (and
+    // the bytes) together, never silently.
+    assert_eq!(FORMAT_VERSION, 1);
+    assert_eq!(KEY_SCHEMA_VERSION, 1);
+}
+
+#[test]
+fn golden_checksums() {
+    assert_eq!(checksum64(b""), 0xe220a8397b1dcdaf);
+    assert_eq!(checksum64(b"abc"), 0xabe04960c15641ca);
+    assert_eq!(checksum64(b"ZEDSTOR1"), 0x6f2e9ded3c0dd572);
+}
+
+#[test]
+fn golden_segment_header_bytes() {
+    // magic "ZEDSTOR1" · format v1 · key schema v1 · segment id 7 · checksum.
+    assert_eq!(
+        hex(&encode_header(7)),
+        "5a454453544f52310100010007000000000000005a814abe547fccd1"
+    );
+}
+
+#[test]
+fn golden_flags_record_frame() {
+    // The key is one of the golden RequestKey values pinned in
+    // `crates/runtime/tests/request_key_golden.rs` — the exact 128 bits a
+    // warm-starting process will derive and look up.
+    let record = StoreRecord {
+        key: 0xc4020b2ae9c1fd7d505b58fa7c24e6d0,
+        input_tokens: 321,
+        output_tokens: 13,
+        value: ResponseValue::Flags(vec![true, false, true, true]),
+    };
+    assert_eq!(
+        hex(&encode_record(&record)),
+        // len=0x29 · checksum · key hi/lo LE · tokens · tag 4 · 4 bools
+        "29000000024479172e84ea9f7dfdc1e92a0b02c4d0e6247cfa585b50\
+         41010000000000000d00000000000000040400000001000101"
+    );
+}
+
+#[test]
+fn golden_values_record_frame() {
+    let record = StoreRecord {
+        key: 0x0123456789abcdef_fedcba9876543210,
+        input_tokens: 7,
+        output_tokens: 2,
+        value: ResponseValue::Values(vec!["ab".into(), "c".into()]),
+    };
+    assert_eq!(
+        hex(&encode_record(&record)),
+        "300000007aa0b01fc33e95a4efcdab89674523011032547698badcfe\
+         0700000000000000020000000000000005020000000200000061620100000063"
+    );
+}

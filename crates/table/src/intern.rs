@@ -38,6 +38,14 @@ pub struct ColumnDict {
 }
 
 impl ColumnDict {
+    /// Interns a single column of `table` without building the full
+    /// [`TableDict`] — for consumers that touch only a few columns (e.g.
+    /// KATARA's knowledge-base lookups), where interning every column would
+    /// cost more than it saves.
+    pub fn for_column(table: &Table, col: usize) -> Self {
+        Self::build(table, col)
+    }
+
     /// Interns every value of column `col`.
     fn build(table: &Table, col: usize) -> Self {
         let n_rows = table.n_rows();
