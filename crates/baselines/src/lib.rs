@@ -63,6 +63,29 @@ impl LabeledTuple {
             })
             .collect()
     }
+
+    /// A labelling budget with both classes represented: the first `n` rows
+    /// that contain errors plus the first `n` row indices outright (mostly
+    /// clean), labelled from the ground-truth mask. This is the deterministic
+    /// recipe the Fig. 6 style sweeps, the interning-equivalence suite and
+    /// the `bench_features` ledger all share — one definition, so they can
+    /// never silently measure different inputs.
+    pub fn mixed_from_mask(mask: &ErrorMask, n: usize) -> Vec<LabeledTuple> {
+        let error_rows: Vec<usize> = (0..mask.n_rows())
+            .filter(|&row| (0..mask.n_cols()).any(|col| mask.get(row, col)))
+            .take(n)
+            .collect();
+        // The clean half is clamped to rows that exist (a budget larger than
+        // the table degrades to "label everything available") and excludes
+        // rows the error half already took, so every tuple is distinct and
+        // the budget really is at most n + n labels.
+        let rows: Vec<usize> = error_rows
+            .iter()
+            .copied()
+            .chain((0..n.min(mask.n_rows())).filter(|row| !error_rows.contains(row)))
+            .collect();
+        Self::from_mask(mask, &rows)
+    }
 }
 
 /// Everything a baseline may consume. Individual baselines use only the parts
@@ -99,5 +122,24 @@ mod tests {
         assert_eq!(labeled.len(), 2);
         assert_eq!(labeled[0].flags, vec![false, false]);
         assert_eq!(labeled[1].flags, vec![true, false]);
+    }
+
+    #[test]
+    fn mixed_budget_covers_error_and_clean_rows_and_clamps_to_the_table() {
+        let mut mask = ErrorMask::new(4, 2);
+        mask.set(2, 1, true);
+        let labeled = LabeledTuple::mixed_from_mask(&mask, 2);
+        // One error row exists (row 2), plus the first two rows outright.
+        let rows: Vec<usize> = labeled.iter().map(|l| l.row).collect();
+        assert_eq!(rows, vec![2, 0, 1]);
+        // A budget larger than the table degrades gracefully instead of
+        // indexing past the mask, and never labels a row twice.
+        let oversized = LabeledTuple::mixed_from_mask(&mask, 20);
+        assert!(oversized.iter().all(|l| l.row < 4));
+        let mut seen: Vec<usize> = oversized.iter().map(|l| l.row).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), oversized.len(), "all labelled rows distinct");
+        assert_eq!(oversized.len(), 4, "every row labelled exactly once");
     }
 }

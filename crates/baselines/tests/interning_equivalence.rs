@@ -1,8 +1,9 @@
-//! The interned dBoost / NADEEF / KATARA fast paths must reproduce the seed
-//! per-cell reference implementations bit-for-bit on real generated benchmark
-//! data (duplicate-heavy columns, injected errors of all five types).
+//! The interned dBoost / NADEEF / KATARA / Raha fast paths must reproduce
+//! the seed per-cell reference implementations bit-for-bit on real generated
+//! benchmark data (duplicate-heavy columns, injected errors of all five
+//! types).
 
-use zeroed_baselines::{Baseline, BaselineInput, DBoost, Katara, Nadeef};
+use zeroed_baselines::{Baseline, BaselineInput, DBoost, Katara, LabeledTuple, Nadeef, Raha};
 use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
 
 fn check_dataset(spec: DatasetSpec, rows: usize, seed: u64) {
@@ -43,6 +44,22 @@ fn check_dataset(spec: DatasetSpec, rows: usize, seed: u64) {
         Katara.detect(&input),
         Katara.detect_reference(&input),
         "KATARA mismatch on {}",
+        spec.name()
+    );
+
+    // Raha needs labelled tuples (its detection is label-propagated): label
+    // a mix of error rows and clean rows, as the Fig. 6 sweeps do.
+    let labels = LabeledTuple::mixed_from_mask(&ds.mask, 10);
+    let labeled_input = BaselineInput {
+        dirty: &ds.dirty,
+        metadata: &ds.metadata,
+        labeled: &labels,
+    };
+    let raha = Raha::default();
+    assert_eq!(
+        raha.detect(&labeled_input),
+        raha.detect_reference(&labeled_input),
+        "Raha mismatch on {}",
         spec.name()
     );
 }

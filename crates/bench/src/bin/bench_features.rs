@@ -19,7 +19,7 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use zeroed_baselines::{Baseline, BaselineInput, DBoost, Katara, Nadeef};
+use zeroed_baselines::{Baseline, BaselineInput, DBoost, Katara, LabeledTuple, Nadeef, Raha};
 use zeroed_core::{ZeroEd, ZeroEdConfig};
 use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
 use zeroed_features::reference::build_all_reference;
@@ -190,6 +190,26 @@ fn bench_baselines(spec: DatasetSpec, name: &'static str, rows: usize) -> Vec<Ba
         time_pair(&|| katara.detect(&input), &|| katara.detect_reference(&input));
     out.push(BaselineResult {
         method: "KATARA",
+        dataset: name,
+        rows,
+        interned_ms,
+        reference_ms,
+    });
+    // Raha's detection is label-propagated: give it a realistic labelling
+    // budget (error rows plus clean rows, as in the Fig. 6 sweeps).
+    let labels = LabeledTuple::mixed_from_mask(&ds.mask, 10);
+    let labeled_input = BaselineInput {
+        dirty: &ds.dirty,
+        metadata: &ds.metadata,
+        labeled: &labels,
+    };
+    let raha = Raha::default();
+    let (interned_ms, reference_ms) = time_pair(
+        &|| raha.detect(&labeled_input),
+        &|| raha.detect_reference(&labeled_input),
+    );
+    out.push(BaselineResult {
+        method: "Raha",
         dataset: name,
         rows,
         interned_ms,

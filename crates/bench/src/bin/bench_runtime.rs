@@ -33,7 +33,11 @@
 //! (and the store's writer) is dropped — the "process" exits — and a fresh
 //! detector re-opens the directory and re-runs detection. The section reports
 //! cold vs warm wall-times and asserts the warm run issues **zero** LLM
-//! requests with a bit-identical mask.
+//! requests with a bit-identical mask. It also runs the sharded-concurrent-
+//! writers experiment: K detectors (distinct `ShardedStore` handles, each
+//! claiming its own writer slot per shard) persist disjoint workloads into
+//! one sharded root *simultaneously*, and a fresh detector warm-starts all K
+//! workloads from the merged slots with zero LLM requests.
 //!
 //! ```text
 //! cargo run --release -p zeroed-bench --bin bench_runtime -- --router --persist
@@ -42,7 +46,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 use zeroed_core::{
-    DetectionOutcome, RouterConfig, RouterLlm, RuntimeConfig, ZeroEd, ZeroEdConfig,
+    DetectionOutcome, RouterConfig, RouterLlm, RuntimeConfig, StoreConfig, ZeroEd, ZeroEdConfig,
 };
 use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
 use zeroed_llm::{FaultSchedule, LlmClient, LlmProfile};
@@ -338,13 +342,118 @@ fn persist_section(rows: usize, workers: usize) -> String {
         "    \"speedup_total_warm\": {total_speedup:.2}, \
          \"speedup_llm_stage_warm\": {llm_stage_speedup:.2},"
     );
-    let _ = write!(
+    let _ = writeln!(
         block,
-        "    \"cold\": {},\n    \"warm\": {}",
+        "    \"cold\": {},\n    \"warm\": {},",
         mode_json(&cold),
         mode_json(&warm)
     );
+    let _ = write!(block, "    \"sharded_concurrent_writers\": {}", sharded_section(rows, workers));
     block
+}
+
+/// The sharded-concurrent-writers experiment: K detectors — each a distinct
+/// `ShardedStore` handle holding its own writer slot per shard — persist
+/// *disjoint* workloads (distinct simulator seeds, hence disjoint request
+/// keys) into one sharded store root at the same time. A single fresh
+/// detector then reopens the root and must replay every writer's workload
+/// with zero LLM requests: the proof that the preload merges records across
+/// all writer slots and that concurrent appends never contended or clobbered.
+fn sharded_section(rows: usize, workers: usize) -> String {
+    const WRITERS: u64 = 3;
+    const SHARDS: usize = 4;
+    eprintln!("  sharded writers: {WRITERS} concurrent detectors, {SHARDS} shards ...");
+    let ds = generate(
+        DatasetSpec::Hospital,
+        &GenerateOptions {
+            n_rows: rows,
+            seed: 7,
+            error_spec: None,
+        },
+    );
+    let store_dir =
+        std::env::temp_dir().join(format!("zeroed-bench-sharded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let config = ZeroEdConfig::fast()
+        .with_runtime(RuntimeConfig {
+            workers,
+            ..RuntimeConfig::default()
+        })
+        .with_store(
+            StoreConfig::new(store_dir.to_str().expect("utf-8 temp path")).with_shards(SHARDS),
+        );
+
+    // Claim every writer's slots before any detection starts, so the
+    // writers genuinely coexist (a fast writer finishing early must not free
+    // slots a slow one would then reclaim instead of adding its own).
+    let detectors: Vec<ZeroEd> = (0..WRITERS).map(|_| ZeroEd::new(config.clone())).collect();
+    let t = Instant::now();
+    let cold: Vec<ModeResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = detectors
+            .into_iter()
+            .enumerate()
+            .map(|(w, detector)| {
+                let ds = &ds;
+                scope.spawn(move || {
+                    run_mode("sharded_cold_writer", &detector, ds, 1 + w as u64)
+                    // ← detector drop inside the thread: this writer's slots
+                    //   are drained, synced and unlocked.
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let cold_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let persisted_total: usize = cold
+        .iter()
+        .map(|r| r.outcome.stats.store_persisted_records)
+        .sum();
+    for r in &cold {
+        assert_eq!(
+            r.outcome.stats.store_persisted_records, r.cache_misses,
+            "sharded writer: every miss must be written through"
+        );
+    }
+
+    // One fresh handle replays all K workloads from the merged slots.
+    let warm_detector = ZeroEd::new(config);
+    let t = Instant::now();
+    for (w, cold_result) in cold.iter().enumerate() {
+        let warm = run_mode("sharded_warm", &warm_detector, &ds, 1 + w as u64);
+        assert_eq!(
+            cold_result.outcome.mask, warm.outcome.mask,
+            "sharded warm mask diverged for writer {w}"
+        );
+        assert_eq!(
+            warm.requests, 0,
+            "sharded warm run must issue zero LLM requests (writer {w})"
+        );
+    }
+    let warm_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let preloaded = warm_detector
+        .store()
+        .expect("store configured")
+        .store()
+        .load_live()
+        .expect("live records readable")
+        .len();
+    assert_eq!(
+        preloaded, persisted_total,
+        "the merged preload must cover all writers' disjoint records"
+    );
+    drop(warm_detector);
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    eprintln!(
+        "  sharded: {WRITERS} writers cold {cold_wall_ms:.0} ms | warm replay of all \
+         {WRITERS} workloads {warm_wall_ms:.0} ms | {persisted_total} records merged, 0 warm requests",
+    );
+    format!(
+        "{{\"writers\": {WRITERS}, \"shards\": {SHARDS}, \"rows\": {rows}, \
+         \"cold_concurrent_wall_ms\": {cold_wall_ms:.1}, \"warm_all_workloads_wall_ms\": {warm_wall_ms:.1}, \
+         \"persisted_records_total\": {persisted_total}, \"preloaded_records\": {preloaded}, \
+         \"warm_llm_requests\": 0, \"masks_identical\": true}}"
+    )
 }
 
 fn main() {

@@ -2,9 +2,18 @@
 //!
 //! The experiment harness that regenerates every table and figure of the
 //! ZeroED paper's evaluation section (see DESIGN.md §3 for the full index),
-//! plus criterion micro-benchmarks for the individual pipeline stages.
+//! plus criterion micro-benchmarks for the individual pipeline stages and
+//! the two perf-ledger emitters successive PRs track regressions against.
 //!
-//! Each experiment is a binary under `src/bin/`; run, for example:
+//! ## Paper experiments
+//!
+//! Each experiment is a binary under `src/bin/` (`exp_table2` … `exp_fig11`)
+//! built from three shared pieces: [`harness`] (argument parsing, dataset
+//! preparation, per-seed averaging), [`methods`] (every detection method —
+//! ZeroED and the baselines — behind one [`Method`] enum, plus
+//! [`simulated_llm`], which wires the generated dataset's ground truth into
+//! `SimLlm` as the labelling oracle) and [`tablefmt`] (the fixed-width table
+//! renderer the binaries print). Run, for example:
 //!
 //! ```text
 //! cargo run --release -p zeroed-bench --bin exp_table3
@@ -14,6 +23,26 @@
 //! By default the harness generates each benchmark dataset at a reduced size
 //! (`--rows 600`) so a full sweep finishes in minutes on a laptop; pass
 //! `--rows 0` to use the paper's original sizes.
+//!
+//! ## Perf ledgers
+//!
+//! Two emitters write committed JSON ledgers (the tier-1 verify line runs
+//! both in `--quick` mode; drop `--quick` to regenerate the 50k-row files):
+//!
+//! * `bench_features` → `BENCH_features.json` — interned vs seed-reference
+//!   wall-times for featurisation and for the dBoost/NADEEF/KATARA/Raha
+//!   baselines, asserting mask equivalence as it measures.
+//! * `bench_runtime` → `BENCH_runtime.json` — LLM-stage wall-times across
+//!   the runtime's execution modes (sequential / concurrent / cached cold /
+//!   cached warm), the `--router` hedging experiment (p99 recovery against
+//!   a slow-tail backend) and the `--persist` cross-process warm start,
+//!   including the sharded-concurrent-writers experiment (K detector
+//!   handles sharing one store root). Hard assertions gate every section:
+//!   masks bit-identical, warm runs issue zero LLM requests, hedging
+//!   recovers ≥1.5x p99, concurrent+cache ≥2x sequential.
+//!
+//! Criterion micro-benchmarks for individual stages live under `benches/`
+//! (`cargo bench --no-run` compiles them in tier-1).
 
 pub mod harness;
 pub mod methods;

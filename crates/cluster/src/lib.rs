@@ -2,15 +2,44 @@
 //!
 //! Clustering and sampling substrate for ZeroED (paper §III-C and Table VI).
 //!
-//! ZeroED selects which cells the (simulated) LLM labels by clustering each
-//! attribute's feature vectors and sampling the points closest to the cluster
-//! centroids. The paper's default is k-means; agglomerative clustering and
-//! plain random sampling are evaluated as alternatives (Table VI). All three
-//! are implemented here behind the [`SamplingMethod`] enum.
+//! ## Where it sits in the pipeline
 //!
-//! Data is passed as a slice of row slices (`&[&[f32]]`), which maps directly
-//! onto the `FeatureMatrix` rows produced by `zeroed-features` without
-//! copying.
+//! ZeroED's labelling budget is its scarce resource: the LLM labels a small
+//! fraction of each attribute's cells (`label_rate`, paper Fig. 7), and
+//! everything else receives its label through in-cluster propagation. This
+//! crate decides *which* cells get the budget: each attribute's per-cell
+//! feature vectors (from `zeroed-features`) are clustered, and the point
+//! closest to each centroid becomes that cluster's representative — the cell
+//! the LLM actually sees. Label quality therefore hinges on cluster quality,
+//! which is why the paper sweeps the method (Table VI) and the budget
+//! (Fig. 7) separately.
+//!
+//! The paper's default is k-means; Ward-linkage agglomerative clustering and
+//! plain random selection are evaluated as alternatives. All three sit
+//! behind the [`SamplingMethod`] enum so the pipeline (and the Table VI
+//! experiment binary) can swap them without touching call sites:
+//!
+//! * [`kmeans()`] — Lloyd's iterations with k-means++-style seeding, the
+//!   §III-C default. O(iters · k · n · d).
+//! * [`agglomerative()`] — bottom-up Ward merging ("AGC" in Table VI); more
+//!   faithful to irregular cluster shapes, quadratic in n, so the pipeline
+//!   caps its input size (`max_cluster_rows`).
+//! * Random — centroid-free control arm.
+//!
+//! ## Contracts
+//!
+//! * **Zero-copy input.** Data is a slice of row slices (`&[&[f32]]`),
+//!   mapping directly onto `FeatureMatrix` rows — no reshaping between
+//!   featurisation and clustering.
+//! * **Determinism.** Every method is driven by an explicit seed through a
+//!   counter-based RNG (`ChaCha8`); the same vectors, `k` and seed produce
+//!   the same [`Clustering`] on every platform. The pipeline derives one
+//!   seed per attribute, which is what makes whole detection runs
+//!   reproducible (and their LLM request keys cacheable across processes —
+//!   the representatives chosen here feed the prompts that
+//!   `zeroed-runtime` content-hashes).
+//! * **Degenerate inputs stay total.** `k` is clamped to the point count;
+//!   empty inputs yield an empty clustering rather than panicking.
 
 pub mod agglomerative;
 pub mod kmeans;

@@ -170,6 +170,37 @@ impl ZeroEdConfig {
     /// same directory warm-starts from it, issuing zero LLM requests for
     /// already-answered prompts — across process boundaries. Requires the
     /// cache (the default); the sequential oracle path ignores the store.
+    ///
+    /// The persistence quickstart, compiler-checked:
+    ///
+    /// ```
+    /// use zeroed_core::{ZeroEd, ZeroEdConfig};
+    /// use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
+    /// use zeroed_llm::{LlmClient, SimLlm};
+    /// use zeroed_runtime::StoreConfig;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("zeroed-doc-store-{}", std::process::id()));
+    /// let _ = std::fs::remove_dir_all(&dir);
+    /// // Tuning knobs ride on StoreConfig: `shards` lets several detector
+    /// // processes share the root, `ttl_secs` expires stale experiment bins.
+    /// let store = StoreConfig::new(dir.to_str().unwrap())
+    ///     .with_shards(2)
+    ///     .with_ttl_secs(7 * 24 * 3600);
+    /// let config = ZeroEdConfig::fast().with_store(store);
+    ///
+    /// let ds = generate(DatasetSpec::Beers, &GenerateOptions { n_rows: 60, seed: 5, error_spec: None });
+    /// let cold = ZeroEd::new(config.clone()).detect(&ds.dirty, &SimLlm::default_model(1));
+    /// // ^ detector dropped: its writes are drained and synced to `dir`.
+    ///
+    /// // A fresh detector — a new process, as far as the store is concerned —
+    /// // replays every response: bit-identical mask, zero LLM requests.
+    /// let warm_llm = SimLlm::default_model(1);
+    /// let warm = ZeroEd::new(config).detect(&ds.dirty, &warm_llm);
+    /// assert_eq!(warm.mask, cold.mask);
+    /// assert_eq!(warm.stats.cache_misses, 0);
+    /// assert_eq!(warm_llm.ledger().usage().requests, 0);
+    /// # let _ = std::fs::remove_dir_all(&dir);
+    /// ```
     pub fn with_store(mut self, store: zeroed_runtime::StoreConfig) -> Self {
         self.runtime.store = Some(store);
         self

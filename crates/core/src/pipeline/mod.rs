@@ -158,6 +158,11 @@ impl ZeroEd {
                     outcome.stats.store_recovered_records = recovery.records_recovered;
                     outcome.stats.store_discarded_tails =
                         recovery.tails_truncated + recovery.segments_skipped;
+                    // TTL/GC accounting: expiries at open plus any a
+                    // compaction performed while this run appended.
+                    outcome.stats.store_expired_records =
+                        layer.store_stats().expired_records as usize;
+                    outcome.stats.store_shards = layer.store().shard_count();
                 }
                 outcome
             }

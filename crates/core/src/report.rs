@@ -96,6 +96,14 @@ pub struct PipelineStats {
     /// corrupt tails, version-mismatched segments) — truncation events, not
     /// data this run produced.
     pub store_discarded_tails: usize,
+    /// Records the store's TTL policy expired (at open, by compaction, or by
+    /// an explicit GC sweep) — stale experiment bins reclaimed, aggregated
+    /// across shards. 0 when no TTL is configured.
+    pub store_expired_records: usize,
+    /// Key-space shards of the configured store (1 = unsharded flat layout;
+    /// 0 when no store is configured). Shards let several detector
+    /// *processes* write one store root concurrently.
+    pub store_shards: usize,
 }
 
 /// The result of running ZeroED on a dirty table.

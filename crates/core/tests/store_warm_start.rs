@@ -14,7 +14,7 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
-use zeroed_core::{RouterConfig, RouterLlm, RuntimeConfig, ZeroEd, ZeroEdConfig};
+use zeroed_core::{RouterConfig, RouterLlm, RuntimeConfig, StoreConfig, ZeroEd, ZeroEdConfig};
 use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
 use zeroed_llm::{FaultSchedule, LlmClient, SimLlm, TokenUsage};
 use zeroed_table::ErrorMask;
@@ -289,6 +289,327 @@ fn warm_start_survives_truncation_of_the_last_segment() {
     assert_eq!(outcome.stats.cache_misses, 0);
     assert_eq!(llm.ledger().usage(), TokenUsage::default());
     drop(detector);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level store surgery helpers (simulating other builds / older stores).
+// ---------------------------------------------------------------------------
+
+/// Walks every `seg-*.zseg` under `dir` (recursively, so sharded layouts
+/// work too) and applies `rewrite` to its bytes.
+fn rewrite_segments(dir: &std::path::Path, rewrite: &dyn Fn(&[u8]) -> Vec<u8>) {
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        for entry in std::fs::read_dir(&current).unwrap().flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "zseg") {
+                let bytes = std::fs::read(&path).unwrap();
+                std::fs::write(&path, rewrite(&bytes)).unwrap();
+            }
+        }
+    }
+}
+
+/// Down-converts a v2 segment image to the exact v1 format: header stamped
+/// format 1, every frame's payload stripped of its epoch bytes (offset
+/// 32..40), lengths and checksums recomputed. This reproduces byte-for-byte
+/// what a PR 4-era build wrote, so opening the result exercises the real
+/// read-compat path.
+fn downconvert_segment_to_v1(bytes: &[u8]) -> Vec<u8> {
+    use zeroed_store::{checksum64, HEADER_LEN};
+    assert!(bytes.len() >= HEADER_LEN, "segment too short to convert");
+    let mut out = bytes[..HEADER_LEN].to_vec();
+    out[8..10].copy_from_slice(&1u16.to_le_bytes());
+    let header_checksum = checksum64(&out[0..20]);
+    out[20..28].copy_from_slice(&header_checksum.to_le_bytes());
+    let mut pos = HEADER_LEN;
+    while pos < bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let payload = &bytes[pos + 12..pos + 12 + len];
+        let mut v1_payload = payload[..32].to_vec();
+        v1_payload.extend_from_slice(&payload[40..]);
+        out.extend_from_slice(&(v1_payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&checksum64(&v1_payload).to_le_bytes());
+        out.extend_from_slice(&v1_payload);
+        pos += 12 + len;
+    }
+    out
+}
+
+/// Rewrites every frame's written-at epoch in a v2 segment image (checksums
+/// recomputed) — the test's way of aging records deterministically.
+fn rewrite_epochs(bytes: &[u8], epoch: u64) -> Vec<u8> {
+    use zeroed_store::{checksum64, HEADER_LEN};
+    let mut out = bytes[..HEADER_LEN].to_vec();
+    let mut pos = HEADER_LEN;
+    while pos < bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let mut payload = bytes[pos + 12..pos + 12 + len].to_vec();
+        payload[32..40].copy_from_slice(&epoch.to_le_bytes());
+        out.extend_from_slice(&(len as u32).to_le_bytes());
+        out.extend_from_slice(&checksum64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        pos += 12 + len;
+    }
+    out
+}
+
+/// The tentpole conformance: K processes-worth of writers — distinct
+/// `ShardedStore` handles via distinct detectors, each with its own cache
+/// and store layer — persist *concurrently* into one sharded root, then a
+/// fresh detector reopens the directory and reproduces every writer's mask
+/// bit-identically with **zero** LLM requests, having merged records across
+/// all writer slots.
+#[test]
+fn sharded_concurrent_writers_warm_start_with_zero_requests() {
+    const WRITERS: u64 = 3;
+    let ds = dataset();
+    let dir = temp_dir();
+    let sharded = |dir: &std::path::Path| {
+        ZeroEdConfig {
+            label_rate: 0.08,
+            ..ZeroEdConfig::fast()
+        }
+        .with_runtime(RuntimeConfig {
+            workers: 2,
+            ..RuntimeConfig::default()
+        })
+        .with_store(StoreConfig::new(dir.to_str().unwrap()).with_shards(4))
+    };
+
+    // K concurrent writers. Each uses a different LLM seed, so the request
+    // salts (and with them every RequestKey) are disjoint between writers:
+    // the warm detector can only succeed by reading *all* the slots.
+    //
+    // Every detector is constructed (claiming its writer slots) *before* any
+    // detection starts — otherwise a fast writer could finish and release
+    // its slots before a slow one opens, which would let the slow one
+    // reclaim the freed slot instead of exercising true concurrency.
+    let detectors: Vec<ZeroEd> = (0..WRITERS).map(|_| ZeroEd::new(sharded(&dir))).collect();
+    let cold: Vec<(zeroed_table::ErrorMask, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = detectors
+            .into_iter()
+            .enumerate()
+            .map(|(w, detector)| {
+                let w = w as u64;
+                let ds = &ds;
+                scope.spawn(move || {
+                    let llm = oracle_llm(ds, 100 + w);
+                    let outcome = detector.detect(&ds.dirty, &llm);
+                    assert_eq!(
+                        outcome.stats.store_persisted_records, outcome.stats.cache_misses,
+                        "writer {w}: every miss must be written through"
+                    );
+                    assert_eq!(outcome.stats.store_shards, 4);
+                    (outcome.mask, outcome.stats.store_persisted_records)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let total_persisted: usize = cold.iter().map(|(_, persisted)| persisted).sum();
+    assert!(total_persisted > 0);
+
+    // The root must actually be sharded, with one claimed slot per writer.
+    assert!(dir.join("sharding.meta").exists());
+    for k in 0..4 {
+        let shard_dir = dir.join(format!("shard-{k:02}"));
+        assert!(shard_dir.is_dir(), "shard {k} exists");
+        let slots = std::fs::read_dir(&shard_dir).unwrap().count();
+        assert_eq!(slots, WRITERS as usize, "shard {k}: one slot per concurrent writer");
+    }
+
+    // Fresh detector: one handle, every slot's records preloaded (the
+    // writers' key sets are disjoint, so the preload count proves the merge
+    // crossed writer slots).
+    let warm_detector = ZeroEd::new(sharded(&dir));
+    let mut checked_preload = false;
+    for (w, (cold_mask, _)) in cold.iter().enumerate() {
+        let llm = oracle_llm(&ds, 100 + w as u64);
+        let outcome = warm_detector.detect(&ds.dirty, &llm);
+        assert_eq!(
+            &outcome.mask, cold_mask,
+            "writer {w}: warm mask must be bit-identical"
+        );
+        assert_eq!(
+            llm.ledger().usage(),
+            TokenUsage::default(),
+            "writer {w}: warm run must issue zero LLM requests"
+        );
+        assert_eq!(outcome.stats.cache_misses, 0);
+        assert_eq!(outcome.stats.store_persisted_records, 0);
+        if !checked_preload {
+            assert_eq!(
+                outcome.stats.store_preloaded_records, total_persisted,
+                "the preload must merge all {WRITERS} writers' disjoint records"
+            );
+            checked_preload = true;
+        }
+    }
+    drop(warm_detector);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// v1 (unsharded, epoch-less) stores written by PR 4-era builds still open
+/// and warm-start: the detector reads them through the v1 frame layout and
+/// replays every response without touching the model.
+#[test]
+fn v1_era_stores_still_open_and_warm_start() {
+    let ds = dataset();
+    let dir = temp_dir();
+    let seed = 19;
+
+    let (cold_mask, cold_persisted) = {
+        let detector = ZeroEd::new(base_config(&dir));
+        let llm = oracle_llm(&ds, seed);
+        let outcome = detector.detect(&ds.dirty, &llm);
+        (outcome.mask, outcome.stats.store_persisted_records)
+    };
+    assert!(cold_persisted > 0);
+
+    // Rewrite the store on disk into the exact v1 format.
+    rewrite_segments(&dir, &downconvert_segment_to_v1);
+
+    let warm_detector = ZeroEd::new(base_config(&dir));
+    let llm = oracle_llm(&ds, seed);
+    let outcome = warm_detector.detect(&ds.dirty, &llm);
+    assert_eq!(outcome.mask, cold_mask, "v1 warm mask must be bit-identical");
+    assert_eq!(
+        llm.ledger().usage(),
+        TokenUsage::default(),
+        "v1 warm start must issue zero LLM requests"
+    );
+    assert_eq!(outcome.stats.cache_misses, 0);
+    assert_eq!(outcome.stats.store_preloaded_records, cold_persisted);
+    assert_eq!(outcome.stats.store_recovered_records, cold_persisted);
+    drop(warm_detector);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// TTL/GC conformance: a store whose records have outlived the TTL serves
+/// nothing — the stale bin is reclaimed, the expiry is reconciled in
+/// `PipelineStats`, the lost responses are recomputed and re-persisted, and
+/// the *next* open is fully warm again.
+#[test]
+fn expired_records_are_gone_after_gc_with_counts_reconciled() {
+    let ds = dataset();
+    let dir = temp_dir();
+    let seed = 23;
+    let ttl_config = |dir: &std::path::Path| {
+        ZeroEdConfig {
+            label_rate: 0.08,
+            ..ZeroEdConfig::fast()
+        }
+        .with_runtime(RuntimeConfig {
+            workers: 4,
+            ..RuntimeConfig::default()
+        })
+        .with_store(
+            StoreConfig::new(dir.to_str().unwrap()).with_ttl_secs(3_600),
+        )
+    };
+
+    let cold_persisted = {
+        let detector = ZeroEd::new(ttl_config(&dir));
+        let llm = oracle_llm(&ds, seed);
+        let outcome = detector.detect(&ds.dirty, &llm);
+        assert_eq!(outcome.stats.store_expired_records, 0, "fresh records don't expire");
+        outcome.stats.store_persisted_records
+    };
+    assert!(cold_persisted > 0);
+
+    // Age every record far past the TTL.
+    let stale_epoch = zeroed_store::now_epoch().saturating_sub(100_000);
+    rewrite_segments(&dir, &|bytes| rewrite_epochs(bytes, stale_epoch));
+
+    // Second run: the whole bin is expired at open — every record is
+    // recomputed (paying the model) and re-persisted at a fresh epoch.
+    let detector = ZeroEd::new(ttl_config(&dir));
+    let llm = oracle_llm(&ds, seed);
+    let outcome = detector.detect(&ds.dirty, &llm);
+    assert_eq!(
+        outcome.stats.store_expired_records, cold_persisted,
+        "every stale record must be accounted as expired"
+    );
+    assert_eq!(outcome.stats.store_preloaded_records, 0, "expired records never preload");
+    assert_eq!(outcome.stats.store_hits, 0);
+    assert_eq!(
+        outcome.stats.cache_misses, cold_persisted,
+        "every response is recomputed, none lost"
+    );
+    assert_eq!(outcome.stats.store_persisted_records, cold_persisted);
+    assert!(llm.ledger().usage().requests > 0, "the model was consulted again");
+    drop(detector);
+
+    // The reclaimed bin holds only fresh records: the expired frames are
+    // physically gone from disk (compacted away), and a third open is fully
+    // warm with zero expiries.
+    let report = zeroed_store::inspect(&dir).unwrap();
+    assert_eq!(report.live.len(), cold_persisted);
+    let (min_epoch, _) = report.epoch_range().unwrap();
+    assert!(min_epoch > stale_epoch, "no stale frame survives on disk");
+
+    let detector = ZeroEd::new(ttl_config(&dir));
+    let llm = oracle_llm(&ds, seed);
+    let outcome = detector.detect(&ds.dirty, &llm);
+    assert_eq!(outcome.stats.store_expired_records, 0);
+    assert_eq!(outcome.stats.cache_misses, 0);
+    assert_eq!(llm.ledger().usage(), TokenUsage::default());
+    drop(detector);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `zeroed-store-tool verify` (via its library entry point) flags a
+/// deliberately truncated segment — with the exact recovered prefix — while
+/// leaving every byte on disk untouched.
+#[test]
+fn store_tool_verify_flags_truncation_without_modifying_the_store() {
+    let ds = dataset();
+    let dir = temp_dir();
+    {
+        let detector = ZeroEd::new(base_config(&dir));
+        let llm = oracle_llm(&ds, 29);
+        let outcome = detector.detect(&ds.dirty, &llm);
+        assert!(outcome.stats.store_persisted_records > 0);
+    }
+    assert!(zeroed_store::verify(&dir).unwrap().is_empty(), "fresh store verifies clean");
+
+    // Truncate the last segment mid-frame.
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "zseg"))
+        .collect();
+    segments.sort();
+    let last = segments.last().unwrap();
+    let full = std::fs::read(last).unwrap();
+    std::fs::write(last, &full[..full.len() - 9]).unwrap();
+
+    let before: Vec<(PathBuf, Vec<u8>)> = segments
+        .iter()
+        .map(|p| (p.clone(), std::fs::read(p).unwrap()))
+        .collect();
+    let issues = zeroed_store::verify(&dir).unwrap();
+    let after: Vec<(PathBuf, Vec<u8>)> = segments
+        .iter()
+        .map(|p| (p.clone(), std::fs::read(p).unwrap()))
+        .collect();
+    assert_eq!(before, after, "verify must not modify the store");
+    assert_eq!(issues.len(), 1);
+    match &issues[0] {
+        zeroed_store::VerifyIssue::TornTail {
+            path,
+            discarded_bytes,
+            ..
+        } => {
+            assert_eq!(path, last);
+            assert!(*discarded_bytes > 0, "the torn tail is measured, not repaired");
+        }
+        other => panic!("expected a torn tail, got {other:?}"),
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

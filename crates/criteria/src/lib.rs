@@ -14,10 +14,35 @@
 //! co-occurrence). A [`Criterion`] couples a check with the human-readable
 //! rationale the LLM produced.
 //!
-//! The [`verify`] module implements the mutual-verification half of the
-//! paper's Algorithm 1: criteria are scored against propagated clean labels
-//! and dropped below an accuracy threshold, then surviving criteria are used
-//! to discard unreliable propagated labels.
+//! ## Why a DSL instead of generated code
+//!
+//! Executing LLM-written Python inside a production detector is an
+//! operational non-starter (sandboxing, determinism, latency); a closed
+//! check algebra keeps criteria *data* — serialisable, diffable, and safe to
+//! replay from the response store. That last point is a real contract: the
+//! on-disk store (`zeroed-store`) persists whole [`CriteriaSet`]s, and
+//! `refine_criteria` request keys fold their canonical byte encoding
+//! (`zeroed_store::canonical_criteria`), so [`Check`]'s unordered fields
+//! (`HashSet` domains, `HashMap` FD mappings) are always serialised sorted —
+//! identical logical criteria must produce identical bytes on every process.
+//!
+//! ## The two halves
+//!
+//! * [`dsl`] — the check algebra itself plus evaluation: a [`Criterion`]
+//!   couples a [`Check`] with the rationale the (simulated) LLM produced;
+//!   `criteria_features` turns a [`CriteriaSet`] into binary per-cell
+//!   feature columns ("error reason-aware features", §III-B) that are
+//!   appended to the unified representation.
+//! * [`verify`] — the mutual-verification half of Algorithm 1: criteria are
+//!   scored against propagated clean labels and dropped below an accuracy
+//!   threshold ([`filter_criteria`]), then the surviving criteria discard
+//!   unreliable propagated labels ([`filter_rows`]) — each side cleans the
+//!   other, which is what lets a zero-shot system train a detector on its
+//!   own labels.
+//!
+//! Checks are pure and total: evaluation never panics on malformed cell
+//! values (a value that fails to parse simply fails the check), which the
+//! pipeline relies on when running criteria over dirty data by design.
 
 pub mod dsl;
 pub mod verify;

@@ -18,6 +18,35 @@
 //! consume, mirroring how the paper takes those artefacts "from existing
 //! public code".
 //!
+//! ## How generation works
+//!
+//! Each dataset module under [`datasets`] describes its schema as column
+//! generators over shared vocabularies ([`vocab`]): FD-consistent lookups
+//! (city → state, measure code → condition), formatted fields (times, zip
+//! codes, phone numbers) and numeric distributions. [`generate`] samples
+//! `n_rows` clean rows from an explicit seed, then hands the table to the
+//! [`inject`] module, which applies the BART operator set — value removal,
+//! character-level typos (substitution, deletion, adjacent transposition),
+//! format mangling, numeric outlier scaling, FD-breaking substitutions — at
+//! the per-dataset, per-type rates of
+//! Table II, recording every injected cell in the returned
+//! [`GeneratedDataset`]'s ground-truth [`ErrorMask`].
+//!
+//! ## Contracts
+//!
+//! * **Determinism.** Same [`DatasetSpec`], `n_rows` and seed → the same
+//!   table, the same injected errors, the same mask, on every platform
+//!   (counter-based RNG throughout). Every benchmark ledger and equivalence
+//!   suite in the workspace keys off this.
+//! * **Scale-invariant shape.** `n_rows` scales the tables from unit-test
+//!   sizes (a few hundred rows) to the 50k-row perf ledgers while keeping
+//!   the same schemas, error rates and duplicate-heavy value distributions —
+//!   the property the interning fast paths (`zeroed-features`,
+//!   `zeroed-baselines`) are benchmarked against.
+//! * **Detectors never see the ground truth.** The mask travels alongside
+//!   the dirty table for *scoring* and for the simulated LLM's oracle; the
+//!   pipeline itself only receives the dirty table.
+//!
 //! Entry point: [`generate`] with a [`DatasetSpec`].
 //!
 //! ```

@@ -39,7 +39,7 @@
 //!   with the single-pass [`matrix::FeatureMatrix::hconcat_all`].
 //!
 //! Invariants the fast path must uphold (enforced by `tests/equivalence.rs`
-//! against the seed implementation preserved in [`reference`]):
+//! against the seed implementation preserved in [`reference`](mod@reference)):
 //!
 //! 1. `base_row` / `unified_row` / `build_all` output is **bit-identical** to
 //!    the per-cell reference path, for every config combination — including

@@ -136,4 +136,4 @@ pub use router::{
     BackendConfig, BackendStats, BreakerPolicy, HedgePolicy, RouterConfig, RouterLlm, RouterStats,
 };
 pub use scheduler::{ExecMode, RuntimeConfig, Scheduler, SchedulerStats};
-pub use zeroed_store::{FsyncPolicy, RecoveryReport, StoreConfig, StoreStats};
+pub use zeroed_store::{FsyncPolicy, RecoveryReport, ShardedStore, StoreConfig, StoreStats};

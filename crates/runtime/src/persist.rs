@@ -25,7 +25,7 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use zeroed_store::{RecoveryReport, ResponseStore, StoreConfig, StoreRecord, StoreStats};
+use zeroed_store::{now_epoch, RecoveryReport, ShardedStore, StoreConfig, StoreRecord, StoreStats};
 
 enum Job {
     /// Append one published response, attributing the outcome to the
@@ -201,8 +201,15 @@ fn stats_of(counters: &Counters) -> PersistStats {
 }
 
 /// The owning handle: store + writer thread (see module docs).
+///
+/// The store underneath is a [`ShardedStore`], so one layer transparently
+/// covers both layouts: a flat single-writer directory (the default) and the
+/// `shard-KK/writer-WWW/` layout that lets many detector *processes* write
+/// one store root concurrently ([`zeroed_store::StoreConfig::shards`] > 1 at
+/// creation). Persist and preload route through the shards; `stats`,
+/// `store_stats` and `recovery` aggregate across them.
 pub struct StoreLayer {
-    store: Arc<ResponseStore>,
+    store: Arc<ShardedStore>,
     queue: Arc<PersistQueue>,
     counters: Arc<Counters>,
     writer: Option<JoinHandle<()>>,
@@ -221,7 +228,7 @@ impl StoreLayer {
     /// Opens the store at `config.dir` (running crash recovery) and starts
     /// the background writer.
     pub fn open(config: StoreConfig) -> io::Result<Self> {
-        let store = Arc::new(ResponseStore::open(config)?);
+        let store = Arc::new(ShardedStore::open(config)?);
         let queue = Arc::new(PersistQueue::new());
         let counters = Arc::new(Counters::default());
         let writer = {
@@ -238,6 +245,9 @@ impl StoreLayer {
                                     key: key.to_u128(),
                                     input_tokens: response.input_tokens as u64,
                                     output_tokens: response.output_tokens as u64,
+                                    // Stamped at write time: the TTL clock
+                                    // starts when the response lands on disk.
+                                    epoch: now_epoch(),
                                     value: response.value.clone(),
                                 };
                                 match store.append(&record) {
@@ -271,16 +281,17 @@ impl StoreLayer {
     }
 
     /// The underlying store.
-    pub fn store(&self) -> &Arc<ResponseStore> {
+    pub fn store(&self) -> &Arc<ShardedStore> {
         &self.store
     }
 
-    /// The recovery report from open.
+    /// The recovery report from open (aggregated across owned shards).
     pub fn recovery(&self) -> RecoveryReport {
         self.store.recovery()
     }
 
-    /// Store-level counters (live/dead records, appends, compactions).
+    /// Store-level counters (live/dead records, appends, compactions,
+    /// TTL expiries), aggregated across owned shards.
     pub fn store_stats(&self) -> StoreStats {
         self.store.stats()
     }
@@ -303,7 +314,7 @@ impl StoreLayer {
 
     /// Blocks until every response offered before this call has been written
     /// to the store (a queue barrier, not an fsync — pair with
-    /// [`ResponseStore::sync`] for a durability barrier).
+    /// [`ShardedStore::sync`] for a durability barrier).
     pub fn drain(&self) {
         let barrier = Arc::new(Barrier::default());
         if self.queue.push(Job::Barrier(Arc::clone(&barrier))) {
@@ -469,6 +480,48 @@ mod tests {
         layer.drain();
         assert_eq!(sink_a.stats().persisted_records, 4);
         assert_eq!(sink_b.stats().persisted_records, 5);
+        drop(layer);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_layers_share_a_sharded_root() {
+        // Two StoreLayers (two detector processes, as far as the store is
+        // concerned) open one sharded root simultaneously, persist disjoint
+        // key sets, and a third layer preloads the union.
+        let dir = temp_dir();
+        let config = StoreConfig::new(dir.to_str().unwrap()).with_shards(4);
+        {
+            let layer_a = StoreLayer::open(config.clone()).unwrap();
+            let layer_b = StoreLayer::open(config.clone()).unwrap();
+            let sink_a = layer_a.sink();
+            let sink_b = layer_b.sink();
+            for i in 0..8 {
+                sink_a.offer(test_key(i), &response(1, &[true]));
+            }
+            for i in 8..20 {
+                sink_b.offer(test_key(i), &response(2, &[false]));
+            }
+            layer_a.drain();
+            layer_b.drain();
+            assert_eq!(layer_a.stats().persisted_records, 8);
+            assert_eq!(layer_b.stats().persisted_records, 12);
+            assert_eq!(layer_a.stats().append_errors, 0);
+            assert_eq!(layer_b.stats().append_errors, 0);
+        }
+        let layer = StoreLayer::open(config).unwrap();
+        let cache = ResponseCache::new(64);
+        assert_eq!(
+            layer.preload_into(&cache).unwrap(),
+            20,
+            "the union of both writers' records preloads"
+        );
+        for i in 0..20 {
+            let (_, lookup) = cache.get_or_compute(test_key(i), || {
+                panic!("preloaded entry must satisfy request {i}")
+            });
+            assert_eq!(lookup, crate::cache::Lookup::Hit { coalesced: false });
+        }
         drop(layer);
         let _ = std::fs::remove_dir_all(&dir);
     }

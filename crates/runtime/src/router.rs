@@ -501,7 +501,7 @@ impl<'a> RouterLlm<'a> {
     }
 
     /// Caller-observed latency of the most recent routed requests (bounded
-    /// to [`LATENCY_WINDOW`] samples).
+    /// to the 4096-sample latency window).
     pub fn latency_samples(&self) -> Vec<Duration> {
         self.samples
             .lock()

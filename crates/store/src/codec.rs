@@ -17,7 +17,22 @@ use zeroed_table::ErrorType;
 
 /// Version of the byte layout described in this module. Bump when the
 /// encoding of headers, frames or values changes incompatibly.
-pub const FORMAT_VERSION: u16 = 1;
+///
+/// History:
+///
+/// * **v1** — original layout: record payloads carry `key · tokens · value`.
+/// * **v2** — payloads additionally carry a coarse *written-at epoch*
+///   (seconds since the Unix epoch, between the token counts and the value)
+///   so the TTL/GC policy can expire stale experiment bins. v1 segments
+///   remain fully readable: their records decode with epoch 0 ("written at
+///   the dawn of time"), which a TTL treats as maximally stale.
+pub const FORMAT_VERSION: u16 = 2;
+
+/// The oldest format version this build can still *read*. Segments between
+/// [`MIN_READ_FORMAT_VERSION`] and [`FORMAT_VERSION`] are decoded with the
+/// corresponding frame layout; anything outside the range is skipped
+/// wholesale (and preserved on disk for the build that wrote it).
+pub const MIN_READ_FORMAT_VERSION: u16 = 1;
 
 /// Version of the `RequestKey` derivation scheme (`zeroed-runtime`'s
 /// 128-bit content-addressed request identity) the store is pinned against.
@@ -49,8 +64,23 @@ pub enum ResponseValue {
     Values(Vec<String>),
 }
 
+impl ResponseValue {
+    /// Short human-readable name of the variant (what the inspection CLI
+    /// prints as the record *kind*).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ResponseValue::Criteria(_) => "criteria",
+            ResponseValue::Analysis(_) => "analysis",
+            ResponseValue::Guideline(_) => "guideline",
+            ResponseValue::Flags(_) => "flags",
+            ResponseValue::Values(_) => "values",
+        }
+    }
+}
+
 /// One persisted response: the 128-bit request key, the token cost the
-/// original call charged (replayed as savings on a warm hit) and the value.
+/// original call charged (replayed as savings on a warm hit), the coarse
+/// written-at epoch and the value.
 #[derive(Debug, Clone)]
 pub struct StoreRecord {
     /// The content-addressed request key (`RequestKey::to_u128`).
@@ -59,8 +89,24 @@ pub struct StoreRecord {
     pub input_tokens: u64,
     /// Completion tokens the original call produced.
     pub output_tokens: u64,
+    /// Coarse written-at timestamp (seconds since the Unix epoch; see
+    /// [`now_epoch`]). Records decoded from v1 segments carry 0, which any
+    /// TTL treats as maximally stale. The store never stamps this itself —
+    /// callers set it (the runtime's persistence layer stamps the wall
+    /// clock), which keeps expiry deterministic under test.
+    pub epoch: u64,
     /// The response value.
     pub value: ResponseValue,
+}
+
+/// The current coarse epoch: whole seconds since the Unix epoch (the
+/// granularity [`StoreRecord::epoch`] is stored at — TTLs are measured in
+/// seconds, so sub-second precision would be noise on disk).
+pub fn now_epoch() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 /// A decode failure (treated as corruption by segment recovery).
@@ -549,13 +595,15 @@ fn read_value(r: &mut Reader<'_>) -> Result<ResponseValue, DecodeError> {
 /// checksum (u64).
 pub const FRAME_PREFIX_LEN: usize = 12;
 
-/// Encodes a record payload (no frame prefix): key, token counts, value.
+/// Encodes a record payload at the current [`FORMAT_VERSION`] (no frame
+/// prefix): key, token counts, written-at epoch, value.
 pub fn encode_payload(record: &StoreRecord) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
     put_u64(&mut buf, (record.key >> 64) as u64);
     put_u64(&mut buf, record.key as u64);
     put_u64(&mut buf, record.input_tokens);
     put_u64(&mut buf, record.output_tokens);
+    put_u64(&mut buf, record.epoch);
     put_value(&mut buf, &record.value);
     buf
 }
@@ -572,9 +620,14 @@ pub fn encode_record(record: &StoreRecord) -> Vec<u8> {
     frame
 }
 
-/// Decodes a record payload previously produced by [`encode_payload`]. The
-/// whole payload must be consumed — trailing bytes are corruption.
-pub fn decode_payload(payload: &[u8]) -> Result<StoreRecord, DecodeError> {
+/// Decodes a record payload written at format version `format` (see
+/// [`FORMAT_VERSION`] for the layout history; v1 payloads carry no epoch and
+/// decode with epoch 0). The whole payload must be consumed — trailing bytes
+/// are corruption.
+pub fn decode_payload(payload: &[u8], format: u16) -> Result<StoreRecord, DecodeError> {
+    if !(MIN_READ_FORMAT_VERSION..=FORMAT_VERSION).contains(&format) {
+        return Err(DecodeError("unreadable format version"));
+    }
     let mut r = Reader::new(payload);
     let hi = r.u64()?;
     let lo = r.u64()?;
@@ -582,6 +635,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<StoreRecord, DecodeError> {
         key: ((hi as u128) << 64) | lo as u128,
         input_tokens: r.u64()?,
         output_tokens: r.u64()?,
+        epoch: if format >= 2 { r.u64()? } else { 0 },
         value: read_value(&mut r)?,
     };
     if !r.done() {
@@ -628,12 +682,14 @@ mod tests {
                 key: 0xdead_beef_cafe_f00d_0123_4567_89ab_cdef,
                 input_tokens: 120,
                 output_tokens: 9,
+                epoch: 1_753_000_000,
                 value: ResponseValue::Criteria(sample_criteria()),
             },
             StoreRecord {
                 key: 1,
                 input_tokens: 0,
                 output_tokens: 0,
+                epoch: 0,
                 value: ResponseValue::Analysis(DistributionAnalysis {
                     column: "zip".into(),
                     total_records: 50_000,
@@ -650,6 +706,7 @@ mod tests {
                 key: 2,
                 input_tokens: 7,
                 output_tokens: 7,
+                epoch: 42,
                 value: ResponseValue::Guideline(Guideline {
                     column: "zip".into(),
                     explanation: "US postal code".into(),
@@ -665,12 +722,14 @@ mod tests {
                 key: 3,
                 input_tokens: 44,
                 output_tokens: 5,
+                epoch: u64::MAX,
                 value: ResponseValue::Flags(vec![true, false, false, true]),
             },
             StoreRecord {
                 key: u128::MAX,
                 input_tokens: u64::MAX,
                 output_tokens: 1,
+                epoch: 7,
                 value: ResponseValue::Values(vec!["".into(), "größe".into()]),
             },
         ];
@@ -680,13 +739,44 @@ mod tests {
             let checksum = u64::from_le_bytes(frame[4..12].try_into().unwrap());
             assert_eq!(len, frame.len() - FRAME_PREFIX_LEN);
             assert_eq!(checksum, checksum64(&frame[FRAME_PREFIX_LEN..]));
-            let decoded = decode_payload(&frame[FRAME_PREFIX_LEN..]).unwrap();
+            let decoded = decode_payload(&frame[FRAME_PREFIX_LEN..], FORMAT_VERSION).unwrap();
             assert_eq!(decoded.key, record.key);
             assert_eq!(decoded.input_tokens, record.input_tokens);
             assert_eq!(decoded.output_tokens, record.output_tokens);
+            assert_eq!(decoded.epoch, record.epoch);
             // Values carry no PartialEq (HashSet fields); compare re-encodings.
             assert_eq!(encode_payload(&decoded), encode_payload(record));
         }
+    }
+
+    #[test]
+    fn v1_payloads_decode_with_epoch_zero() {
+        // A v1 payload is the v2 payload with the 8 epoch bytes (offset
+        // 32..40, between the token counts and the value) spliced out.
+        let record = StoreRecord {
+            key: 77,
+            input_tokens: 10,
+            output_tokens: 3,
+            epoch: 1_753_000_000,
+            value: ResponseValue::Flags(vec![true, false]),
+        };
+        let v2 = encode_payload(&record);
+        let mut v1 = v2[..32].to_vec();
+        v1.extend_from_slice(&v2[40..]);
+        let decoded = decode_payload(&v1, 1).unwrap();
+        assert_eq!(decoded.key, 77);
+        assert_eq!(decoded.input_tokens, 10);
+        assert_eq!(decoded.output_tokens, 3);
+        assert_eq!(decoded.epoch, 0, "v1 records are maximally stale");
+        match decoded.value {
+            ResponseValue::Flags(f) => assert_eq!(f, vec![true, false]),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // A v2 payload must not decode as v1 (the epoch bytes would corrupt
+        // the value) and unknown versions are rejected outright.
+        assert!(decode_payload(&v2, 1).is_err());
+        assert!(decode_payload(&v2, 0).is_err());
+        assert!(decode_payload(&v2, FORMAT_VERSION + 1).is_err());
     }
 
     #[test]
@@ -708,12 +798,15 @@ mod tests {
             key: 42,
             input_tokens: 10,
             output_tokens: 2,
+            epoch: 99,
             value: ResponseValue::Criteria(sample_criteria()),
         };
         let payload = encode_payload(&record);
-        // Truncations at every prefix length.
+        // Truncations at every prefix length: always an error at the format
+        // that produced the payload, never a panic at any readable format.
         for cut in 0..payload.len() {
-            let _ = decode_payload(&payload[..cut]).unwrap_err();
+            let _ = decode_payload(&payload[..cut], FORMAT_VERSION).unwrap_err();
+            let _ = decode_payload(&payload[..cut], 1);
         }
         // Single-byte corruption either still decodes (e.g. a flipped token
         // count) or errors — it must never panic. (The checksum layer above
@@ -721,12 +814,12 @@ mod tests {
         for i in 0..payload.len() {
             let mut bad = payload.clone();
             bad[i] ^= 0xff;
-            let _ = decode_payload(&bad);
+            let _ = decode_payload(&bad, FORMAT_VERSION);
         }
         // Trailing garbage is rejected.
         let mut extended = payload.clone();
         extended.push(0);
-        assert!(decode_payload(&extended).is_err());
+        assert!(decode_payload(&extended, FORMAT_VERSION).is_err());
     }
 
     #[test]

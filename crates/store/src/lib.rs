@@ -11,6 +11,45 @@
 //! crate persists every published response so a *later process* can replay
 //! them and skip the model entirely.
 //!
+//! ## Quickstart
+//!
+//! Open → append → reopen → load the live records (what a warm-starting
+//! detector does through `zeroed-runtime`'s `StoreLayer`):
+//!
+//! ```
+//! use zeroed_store::{now_epoch, ResponseStore, ResponseValue, StoreConfig, StoreRecord};
+//!
+//! let dir = std::env::temp_dir().join(format!("zeroed-store-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let config = StoreConfig::new(dir.to_str().unwrap());
+//!
+//! // First process: append responses, then exit (drop syncs per policy).
+//! {
+//!     let store = ResponseStore::open(config.clone())?;
+//!     store.append(&StoreRecord {
+//!         key: 0x0123_4567_89ab_cdef,          // RequestKey::to_u128()
+//!         input_tokens: 321,
+//!         output_tokens: 13,
+//!         epoch: now_epoch(),                  // TTL clock starts here
+//!         value: ResponseValue::Flags(vec![true, false]),
+//!     })?;
+//! }
+//!
+//! // Second process: recovery scans the segments, then replays everything.
+//! let store = ResponseStore::open(config)?;
+//! assert_eq!(store.recovery().records_recovered, 1);
+//! let live = store.load_live()?;
+//! assert_eq!(live.len(), 1);
+//! assert_eq!(live[0].input_tokens, 321);
+//! # drop(store);
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! For multi-process fleets, open the same configuration through
+//! [`ShardedStore`] with [`StoreConfig::shards`] > 1 — same API, but N
+//! processes can append concurrently (see [`shard`] for the layout).
+//!
 //! ## Layout
 //!
 //! A store is a directory of numbered segment files:
@@ -59,9 +98,11 @@
 //!
 //! The header pins two versions, checked on open:
 //!
-//! * [`FORMAT_VERSION`] — the byte layout of headers, frames and values. Bump
-//!   it when the encoding changes; old segments are then skipped (a warm
-//!   start degrades to a cold run, never to garbage).
+//! * [`FORMAT_VERSION`] — the byte layout of headers, frames and values.
+//!   Formats back to [`MIN_READ_FORMAT_VERSION`] stay *readable* (a v1
+//!   segment's epoch-less frames decode with epoch 0); anything outside that
+//!   range is skipped and preserved on disk for the build that wrote it (a
+//!   warm start degrades to a cold run, never to garbage).
 //! * [`KEY_SCHEMA_VERSION`] — the `RequestKey` derivation scheme, frozen by
 //!   the golden-key suite in `crates/runtime/tests/request_key_golden.rs`. If
 //!   key derivation changes *intentionally*, bump this constant together with
@@ -71,20 +112,50 @@
 //! `zeroed-runtime` asserts both constants alongside its golden keys, so a
 //! drive-by change to either contract fails CI.
 //!
-//! ## Compaction
+//! ## Compaction and TTL/GC
 //!
 //! Superseded and capacity-evicted records are dead weight. When the
 //! dead-to-live ratio crosses [`StoreConfig::compact_threshold`], the store
 //! rewrites every live record into a fresh generation (fsynced before any old
 //! file is deleted) and removes the previous segments.
+//!
+//! The compactor doubles as the garbage collector for stale experiment bins:
+//! every record carries a coarse written-at epoch ([`StoreRecord::epoch`]),
+//! and with [`StoreConfig::ttl_secs`] set, expired records are dropped at
+//! open, filtered by every compaction, and sweepable on demand via
+//! [`ResponseStore::gc`]. [`StoreConfig::gc`] `= false` defers all of that to
+//! the explicit sweep, for operators who want to inspect stale bins before
+//! reclaiming them. Expiry counts surface in [`StoreStats::expired_records`]
+//! and, through the pipeline, in `PipelineStats::store_expired_records`.
+//!
+//! ## Sharding
+//!
+//! A single store directory is deliberately single-writer (an advisory lock
+//! turns concurrent-open data races into a fast, explicit error). For fleets
+//! of detector processes sharing one store root, [`ShardedStore`] partitions
+//! the key space across `shard-KK/` directories and gives each process its
+//! own locked *writer slot* per shard, merging all slots on read — see the
+//! [`shard`] module docs for the layout and its invariants.
+//!
+//! ## Inspection
+//!
+//! The `zeroed-store-tool` binary (`stat` / `ls` / `verify`, backed by the
+//! [`inspect`](mod@inspect) module) answers "what is in this store and is it intact?"
+//! without booting a detector — and without taking locks, truncating tails
+//! or deleting files, so it is safe against a store that live writers are
+//! appending to.
 
 pub mod codec;
+pub mod inspect;
 pub mod segment;
+pub mod shard;
 pub mod store;
 
 pub use codec::{
-    canonical_criteria, checksum64, DecodeError, ResponseValue, StoreRecord, FORMAT_VERSION,
-    KEY_SCHEMA_VERSION,
+    canonical_criteria, checksum64, now_epoch, DecodeError, ResponseValue, StoreRecord,
+    FORMAT_VERSION, KEY_SCHEMA_VERSION, MIN_READ_FORMAT_VERSION,
 };
+pub use inspect::{inspect, verify, InspectReport, LiveEntry, SegmentReport, UnitReport, VerifyIssue};
 pub use segment::{HeaderIssue, HEADER_LEN, MAGIC};
+pub use shard::ShardedStore;
 pub use store::{FsyncPolicy, RecoveryReport, ResponseStore, StoreConfig, StoreStats};

@@ -22,6 +22,7 @@
 
 use crate::codec::{
     checksum64, decode_payload, StoreRecord, FORMAT_VERSION, FRAME_PREFIX_LEN, KEY_SCHEMA_VERSION,
+    MIN_READ_FORMAT_VERSION,
 };
 
 /// Magic bytes opening every segment file.
@@ -64,15 +65,19 @@ pub enum HeaderIssue {
     BadMagic,
     /// Header checksum mismatch.
     BadChecksum,
-    /// Format version is not the one this build writes.
+    /// Format version outside the range this build can read
+    /// (`MIN_READ_FORMAT_VERSION..=FORMAT_VERSION`).
     FormatVersion,
     /// Key-schema version is not the one this build's request keys follow
     /// (entries would be unreachable or, worse, wrongly reachable).
     KeySchemaVersion,
 }
 
-/// Validates a segment header, returning the encoded segment id.
-pub fn decode_header(bytes: &[u8]) -> Result<u64, HeaderIssue> {
+/// Validates a segment header, returning the encoded segment id and the
+/// format version its frames were written at (any version in
+/// `MIN_READ_FORMAT_VERSION..=FORMAT_VERSION` is readable — older formats
+/// decode through their original frame layout).
+pub fn decode_header(bytes: &[u8]) -> Result<(u64, u16), HeaderIssue> {
     if bytes.len() < HEADER_LEN {
         return Err(HeaderIssue::TooShort);
     }
@@ -84,14 +89,14 @@ pub fn decode_header(bytes: &[u8]) -> Result<u64, HeaderIssue> {
         return Err(HeaderIssue::BadChecksum);
     }
     let format = u16::from_le_bytes(bytes[8..10].try_into().unwrap());
-    if format != FORMAT_VERSION {
+    if !(MIN_READ_FORMAT_VERSION..=FORMAT_VERSION).contains(&format) {
         return Err(HeaderIssue::FormatVersion);
     }
     let key_schema = u16::from_le_bytes(bytes[10..12].try_into().unwrap());
     if key_schema != KEY_SCHEMA_VERSION {
         return Err(HeaderIssue::KeySchemaVersion);
     }
-    Ok(u64::from_le_bytes(bytes[12..20].try_into().unwrap()))
+    Ok((u64::from_le_bytes(bytes[12..20].try_into().unwrap()), format))
 }
 
 /// One recovered record and where its frame starts in the segment.
@@ -108,6 +113,9 @@ pub struct ScannedRecord {
 /// Outcome of scanning one segment's bytes.
 #[derive(Debug)]
 pub struct SegmentScan {
+    /// Format version the segment's frames were written at (0 when the
+    /// header was unusable).
+    pub format: u16,
     /// Records recovered, in file order.
     pub records: Vec<ScannedRecord>,
     /// Byte length of the valid prefix (header + recovered frames). When
@@ -123,22 +131,29 @@ pub struct SegmentScan {
 }
 
 /// Scans a full segment image, recovering the longest valid record prefix.
+/// Frames are decoded at the format version the header declares, so v1
+/// segments (no per-record epoch) recover exactly.
 pub fn scan_segment(bytes: &[u8]) -> SegmentScan {
-    if let Err(issue) = decode_header(bytes) {
-        return SegmentScan {
-            records: Vec::new(),
-            valid_len: 0,
-            discarded_bytes: bytes.len() as u64,
-            torn: !bytes.is_empty(),
-            header_issue: Some(issue),
-        };
-    }
+    let format = match decode_header(bytes) {
+        Ok((_, format)) => format,
+        Err(issue) => {
+            return SegmentScan {
+                format: 0,
+                records: Vec::new(),
+                valid_len: 0,
+                discarded_bytes: bytes.len() as u64,
+                torn: !bytes.is_empty(),
+                header_issue: Some(issue),
+            };
+        }
+    };
     let mut records = Vec::new();
     let mut pos = HEADER_LEN;
     loop {
         if pos == bytes.len() {
             // Clean end of segment.
             return SegmentScan {
+                format,
                 records,
                 valid_len: pos as u64,
                 discarded_bytes: 0,
@@ -160,7 +175,7 @@ pub fn scan_segment(bytes: &[u8]) -> SegmentScan {
             if checksum64(payload) != checksum {
                 return None; // bit rot / partial overwrite
             }
-            let record = decode_payload(payload).ok()?;
+            let record = decode_payload(payload, format).ok()?;
             Some(ScannedRecord {
                 offset: pos as u64,
                 frame_len: (FRAME_PREFIX_LEN + len) as u32,
@@ -174,6 +189,7 @@ pub fn scan_segment(bytes: &[u8]) -> SegmentScan {
             }
             None => {
                 return SegmentScan {
+                    format,
                     records,
                     valid_len: pos as u64,
                     discarded_bytes: (bytes.len() - pos) as u64,
@@ -195,6 +211,7 @@ mod tests {
             key,
             input_tokens: 10,
             output_tokens: 2,
+            epoch: 1_000 + key as u64,
             value: ResponseValue::Flags(vec![flag]),
         }
     }
@@ -210,7 +227,7 @@ mod tests {
     #[test]
     fn header_round_trips_and_rejects_tampering() {
         let header = encode_header(42);
-        assert_eq!(decode_header(&header), Ok(42));
+        assert_eq!(decode_header(&header), Ok((42, FORMAT_VERSION)));
         assert_eq!(decode_header(&header[..10]), Err(HeaderIssue::TooShort));
         let mut bad_magic = header;
         bad_magic[0] ^= 0xff;
@@ -236,6 +253,43 @@ mod tests {
             decode_header(&wrong_schema),
             Err(HeaderIssue::KeySchemaVersion)
         );
+    }
+
+    /// Builds a v1 segment image: v1 header plus frames whose payloads carry
+    /// no epoch (the 8 bytes at offset 32..40 of a v2 payload spliced out).
+    fn v1_segment_with(records: &[StoreRecord]) -> Vec<u8> {
+        let mut header = encode_header(3);
+        header[8..10].copy_from_slice(&1u16.to_le_bytes());
+        let checksum = checksum64(&header[0..20]);
+        header[20..28].copy_from_slice(&checksum.to_le_bytes());
+        let mut bytes = header.to_vec();
+        for r in records {
+            let v2 = crate::codec::encode_payload(r);
+            let mut v1 = v2[..32].to_vec();
+            v1.extend_from_slice(&v2[40..]);
+            bytes.extend_from_slice(&(v1.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&checksum64(&v1).to_le_bytes());
+            bytes.extend_from_slice(&v1);
+        }
+        bytes
+    }
+
+    #[test]
+    fn v1_segments_scan_with_epoch_zero() {
+        let bytes = v1_segment_with(&[record(1, true), record(2, false)]);
+        let scan = scan_segment(&bytes);
+        assert_eq!(scan.header_issue, None, "v1 headers stay readable");
+        assert_eq!(scan.format, 1);
+        assert!(!scan.torn);
+        assert_eq!(scan.records.len(), 2);
+        for (i, scanned) in scan.records.iter().enumerate() {
+            assert_eq!(scanned.record.key, i as u128 + 1);
+            assert_eq!(scanned.record.epoch, 0, "v1 records decode as epoch 0");
+        }
+        // A torn v1 tail truncates exactly like a v2 one.
+        let torn = scan_segment(&bytes[..bytes.len() - 3]);
+        assert!(torn.torn);
+        assert_eq!(torn.records.len(), 1);
     }
 
     #[test]

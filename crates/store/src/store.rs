@@ -29,7 +29,7 @@
 //! mid-compaction leaves a recoverable superset) and deletes the old
 //! generation.
 
-use crate::codec::{encode_record, StoreRecord, FRAME_PREFIX_LEN};
+use crate::codec::{encode_record, now_epoch, StoreRecord, FORMAT_VERSION, FRAME_PREFIX_LEN};
 use crate::segment::{
     encode_header, parse_segment_file_name, scan_segment, segment_file_name, HEADER_LEN,
 };
@@ -55,14 +55,18 @@ pub enum FsyncPolicy {
     Always,
 }
 
-/// Configuration of a [`ResponseStore`].
+/// Configuration of a [`ResponseStore`] (and, through
+/// [`crate::ShardedStore`], of every writer slot in a sharded store).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StoreConfig {
-    /// Directory holding the segment files (created if missing).
+    /// Directory holding the segment files (created if missing). For a
+    /// sharded store this is the *root*; each shard's writer slots live in
+    /// `shard-KK/writer-WWW/` subdirectories underneath it.
     pub dir: String,
     /// Maximum live entries retained (0 = unbounded). When an append pushes
     /// the live count past the capacity, the oldest live entries are evicted
-    /// (they become dead records reclaimed by compaction).
+    /// (they become dead records reclaimed by compaction). In a sharded
+    /// store the bound applies per writer slot.
     pub capacity: usize,
     /// Fsync policy for appended data.
     pub fsync: FsyncPolicy,
@@ -70,6 +74,22 @@ pub struct StoreConfig {
     pub segment_max_bytes: u64,
     /// Dead-to-live record ratio beyond which the store compacts.
     pub compact_threshold: f64,
+    /// Number of key-space shards (0 or 1 = unsharded single-directory
+    /// layout, the default). Only consulted when *creating* a store through
+    /// [`crate::ShardedStore::open`]; an existing directory keeps the layout
+    /// it was created with (recorded in `sharding.meta`).
+    pub shards: usize,
+    /// Seconds a record stays servable after its written-at epoch
+    /// ([`StoreRecord::epoch`]); 0 disables expiry. v1 records (epoch 0) are
+    /// maximally stale, so any TTL expires them.
+    pub ttl_secs: u64,
+    /// Automatically enforce the TTL: expired records found at open are
+    /// dropped during recovery (compacting the store if enough of it died),
+    /// and every compaction filters newly expired entries. When `false`,
+    /// expiry happens only on an explicit [`ResponseStore::gc`] call — an
+    /// operator choice for inspecting stale experiment bins before
+    /// reclaiming them.
+    pub gc: bool,
 }
 
 impl StoreConfig {
@@ -81,7 +101,23 @@ impl StoreConfig {
             fsync: FsyncPolicy::OnSeal,
             segment_max_bytes: 8 << 20,
             compact_threshold: 0.5,
+            shards: 1,
+            ttl_secs: 0,
+            gc: true,
         }
+    }
+
+    /// Partitions the key space across `shards` independent segment
+    /// directories (see [`crate::ShardedStore`]).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Expires records `ttl_secs` after their written-at epoch.
+    pub fn with_ttl_secs(mut self, ttl_secs: u64) -> Self {
+        self.ttl_secs = ttl_secs;
+        self
     }
 }
 
@@ -101,6 +137,25 @@ pub struct RecoveryReport {
     pub tails_truncated: usize,
     /// Bytes discarded by truncation and skipped segments.
     pub bytes_discarded: u64,
+    /// Records dropped at open because their TTL had lapsed (only when
+    /// [`StoreConfig::gc`] is set; they become dead records for compaction).
+    pub records_expired: usize,
+}
+
+impl RecoveryReport {
+    /// Component-wise sum (used by [`crate::ShardedStore`] to aggregate the
+    /// per-slot reports).
+    pub fn merge(&self, other: &RecoveryReport) -> RecoveryReport {
+        RecoveryReport {
+            segments_scanned: self.segments_scanned + other.segments_scanned,
+            segments_skipped: self.segments_skipped + other.segments_skipped,
+            records_recovered: self.records_recovered + other.records_recovered,
+            records_superseded: self.records_superseded + other.records_superseded,
+            tails_truncated: self.tails_truncated + other.tails_truncated,
+            bytes_discarded: self.bytes_discarded + other.bytes_discarded,
+            records_expired: self.records_expired + other.records_expired,
+        }
+    }
 }
 
 /// Counters describing store activity since open.
@@ -116,10 +171,30 @@ pub struct StoreStats {
     pub appended_bytes: u64,
     /// Live entries evicted by the capacity bound.
     pub evicted_records: u64,
+    /// Records expired by the TTL policy (at open, during compaction, or by
+    /// an explicit [`ResponseStore::gc`] sweep).
+    pub expired_records: u64,
     /// Compactions performed.
     pub compactions: u64,
     /// `fsync` calls issued.
     pub fsyncs: u64,
+}
+
+impl StoreStats {
+    /// Component-wise sum (used by [`crate::ShardedStore`] to aggregate the
+    /// per-slot counters).
+    pub fn merge(&self, other: &StoreStats) -> StoreStats {
+        StoreStats {
+            live_records: self.live_records + other.live_records,
+            dead_records: self.dead_records + other.dead_records,
+            appended_records: self.appended_records + other.appended_records,
+            appended_bytes: self.appended_bytes + other.appended_bytes,
+            evicted_records: self.evicted_records + other.evicted_records,
+            expired_records: self.expired_records + other.expired_records,
+            compactions: self.compactions + other.compactions,
+            fsyncs: self.fsyncs + other.fsyncs,
+        }
+    }
 }
 
 struct IndexEntry {
@@ -127,6 +202,9 @@ struct IndexEntry {
     offset: u64,
     frame_len: u32,
     seq: u64,
+    /// Written-at epoch, mirrored from the record so TTL sweeps run off the
+    /// in-memory index without touching disk.
+    epoch: u64,
 }
 
 struct ActiveSegment {
@@ -153,6 +231,10 @@ struct Inner {
     active: Option<ActiveSegment>,
     next_segment_id: u64,
     dead_records: u64,
+    /// Frame format version of each on-disk segment (recovered segments keep
+    /// the version their header declares; segments this process writes are
+    /// always the current [`FORMAT_VERSION`]).
+    formats: HashMap<u64, u16>,
     /// Live records decoded during the open scan, kept so the warm-start
     /// preload does not read and decode the whole store a second time.
     /// Mirrors the index (superseded/evicted entries removed); consumed by
@@ -166,6 +248,7 @@ struct Counters {
     appended_records: AtomicU64,
     appended_bytes: AtomicU64,
     evicted_records: AtomicU64,
+    expired_records: AtomicU64,
     compactions: AtomicU64,
     fsyncs: AtomicU64,
 }
@@ -240,8 +323,10 @@ impl ResponseStore {
             active: None,
             next_segment_id: segment_ids.last().map_or(0, |&last| last + 1),
             dead_records: 0,
+            formats: HashMap::new(),
             stash: Some(HashMap::new()),
         };
+        let now = now_epoch();
 
         for &id in &segment_ids {
             let path = dir.join(segment_file_name(id));
@@ -271,7 +356,17 @@ impl ResponseStore {
                 let file = OpenOptions::new().write(true).open(&path)?;
                 file.set_len(scan.valid_len)?;
             }
+            inner.formats.insert(id, scan.format);
             for scanned in scan.records {
+                // TTL enforcement at open: an expired record is dead on
+                // arrival — skipped entirely (it must also not resurrect a
+                // key a previous record established, so it is dropped before
+                // duplicate resolution, not after).
+                if config.gc && expired_at(config.ttl_secs, scanned.record.epoch, now) {
+                    report.records_expired += 1;
+                    inner.dead_records += 1;
+                    continue;
+                }
                 let seq = inner.next_seq;
                 inner.next_seq += 1;
                 let previous = inner.index.insert(
@@ -281,6 +376,7 @@ impl ResponseStore {
                         offset: scanned.offset,
                         frame_len: scanned.frame_len,
                         seq,
+                        epoch: scanned.record.epoch,
                     },
                 );
                 inner.order.push_back((seq, scanned.record.key));
@@ -307,10 +403,20 @@ impl ResponseStore {
             recovery: report,
             _dir_lock: dir_lock,
         };
-        // Enforce the capacity bound on recovered entries too (oldest out).
+        store
+            .counters
+            .expired_records
+            .store(report.records_expired as u64, Ordering::Relaxed);
+        // Enforce the capacity bound on recovered entries too (oldest out),
+        // and reclaim stale experiment bins right away: if TTL expiry just
+        // killed enough of the store, compact before serving (open is the
+        // natural maintenance point for a store whose writers come and go).
         {
             let mut inner = store.inner.lock().unwrap_or_else(|e| e.into_inner());
             store.evict_over_capacity(&mut inner);
+            if store.config.gc && report.records_expired > 0 && store.should_compact(&inner) {
+                store.compact_locked(&mut inner)?;
+            }
         }
         Ok(store)
     }
@@ -339,6 +445,7 @@ impl ResponseStore {
             appended_records: self.counters.appended_records.load(Ordering::Relaxed),
             appended_bytes: self.counters.appended_bytes.load(Ordering::Relaxed),
             evicted_records: self.counters.evicted_records.load(Ordering::Relaxed),
+            expired_records: self.counters.expired_records.load(Ordering::Relaxed),
             compactions: self.counters.compactions.load(Ordering::Relaxed),
             fsyncs: self.counters.fsyncs.load(Ordering::Relaxed),
         }
@@ -392,6 +499,7 @@ impl ResponseStore {
             let id = inner.next_segment_id;
             inner.next_segment_id += 1;
             inner.active = Some(self.create_segment(id)?);
+            inner.formats.insert(id, FORMAT_VERSION);
         }
         Ok(())
     }
@@ -460,6 +568,7 @@ impl ResponseStore {
                 offset,
                 frame_len: frame.len() as u32,
                 seq,
+                epoch: record.epoch,
             },
         );
         inner.order.push_back((seq, record.key));
@@ -483,21 +592,39 @@ impl ResponseStore {
                 > self.config.compact_threshold
     }
 
-    /// Reads one frame's payload from disk and decodes it.
-    fn read_entry(&self, entry: &IndexEntry) -> io::Result<StoreRecord> {
+    /// Reads one frame's payload from disk and decodes it at the segment's
+    /// recorded format version.
+    fn read_entry(&self, entry: &IndexEntry, format: u16) -> io::Result<StoreRecord> {
         let mut file = File::open(self.segment_path(entry.segment))?;
         file.seek(SeekFrom::Start(entry.offset + FRAME_PREFIX_LEN as u64))?;
         let mut payload = vec![0u8; entry.frame_len as usize - FRAME_PREFIX_LEN];
         file.read_exact(&mut payload)?;
-        crate::codec::decode_payload(&payload)
+        crate::codec::decode_payload(&payload, format)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
-    /// Fetches the live record for `key`, reading it from disk.
+    /// Whether the TTL policy hides records whose epoch has lapsed by `now`
+    /// from reads (expiry is *enforced* on every read path; *reclaiming* the
+    /// frames is the job of open/gc/compaction).
+    fn read_filter_expired(&self) -> bool {
+        self.config.gc && self.config.ttl_secs > 0
+    }
+
+    /// Fetches the live record for `key`, reading it from disk. Records
+    /// whose TTL lapsed after open are not served (matching what a sharded
+    /// reader's foreign scan — or the next open — would conclude).
     pub fn get(&self, key: u128) -> io::Result<Option<StoreRecord>> {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         match inner.index.get(&key) {
-            Some(entry) => Ok(Some(self.read_entry(entry)?)),
+            Some(entry) => {
+                if self.read_filter_expired()
+                    && expired_at(self.config.ttl_secs, entry.epoch, now_epoch())
+                {
+                    return Ok(None);
+                }
+                let format = segment_format(&inner, entry.segment);
+                Ok(Some(self.read_entry(entry, format)?))
+            }
             None => Ok(None),
         }
     }
@@ -507,6 +634,7 @@ impl ResponseStore {
     /// order; the caller sorts as needed.
     fn read_entries_grouped(
         &self,
+        formats: &HashMap<u64, u16>,
         entries: &[(u64, u64, u64, u32)], // (seq, segment, offset, frame_len)
     ) -> io::Result<Vec<(u64, StoreRecord)>> {
         let mut by_segment: std::collections::BTreeMap<u64, Vec<(u64, u64, u32)>> =
@@ -520,6 +648,7 @@ impl ResponseStore {
         let mut out = Vec::with_capacity(entries.len());
         for (segment, frames) in by_segment {
             let bytes = std::fs::read(self.segment_path(segment))?;
+            let format = formats.get(&segment).copied().unwrap_or(FORMAT_VERSION);
             for (seq, offset, frame_len) in frames {
                 let start = offset as usize + FRAME_PREFIX_LEN;
                 let end = offset as usize + frame_len as usize;
@@ -529,7 +658,7 @@ impl ResponseStore {
                         "segment shrank under a live index entry",
                     )
                 })?;
-                let record = crate::codec::decode_payload(payload)
+                let record = crate::codec::decode_payload(payload, format)
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
                 out.push((seq, record));
             }
@@ -547,8 +676,13 @@ impl ResponseStore {
 
     /// Loads every live record (in stable append order) — the warm-start
     /// preload path. Each segment file is read once, however many records it
-    /// holds.
+    /// holds. Records whose TTL lapsed after open are filtered, exactly as
+    /// [`ResponseStore::get`] filters them.
     pub fn load_live(&self) -> io::Result<Vec<StoreRecord>> {
+        let now = now_epoch();
+        let expired = |epoch: u64| {
+            self.read_filter_expired() && expired_at(self.config.ttl_secs, epoch, now)
+        };
         // The lock is held across the reads so a concurrent compaction
         // cannot delete a segment out from under the index snapshot.
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
@@ -560,10 +694,19 @@ impl ResponseStore {
             drop(inner);
             let mut records: Vec<(u64, StoreRecord)> = stash.into_values().collect();
             records.sort_by_key(|&(seq, _)| seq);
-            return Ok(records.into_iter().map(|(_, record)| record).collect());
+            return Ok(records
+                .into_iter()
+                .filter(|(_, record)| !expired(record.epoch))
+                .map(|(_, record)| record)
+                .collect());
         }
-        let entries = Self::live_entry_list(&inner);
-        let mut records = self.read_entries_grouped(&entries)?;
+        let entries: Vec<(u64, u64, u64, u32)> = inner
+            .index
+            .values()
+            .filter(|e| !expired(e.epoch))
+            .map(|e| (e.seq, e.segment, e.offset, e.frame_len))
+            .collect();
+        let mut records = self.read_entries_grouped(&inner.formats, &entries)?;
         drop(inner);
         records.sort_by_key(|&(seq, _)| seq);
         Ok(records.into_iter().map(|(_, record)| record).collect())
@@ -586,8 +729,20 @@ impl ResponseStore {
         // stable append order. Re-encoding (rather than raw frame copy)
         // validates each record a final time, so compaction can never carry
         // corruption forward.
-        let mut records = self.read_entries_grouped(&Self::live_entry_list(inner))?;
+        let mut records =
+            self.read_entries_grouped(&inner.formats, &Self::live_entry_list(inner))?;
         records.sort_by_key(|&(seq, _)| seq);
+
+        // The compactor is also the TTL garbage collector: records whose TTL
+        // lapsed since open are dropped here instead of being carried into
+        // the new generation.
+        if self.config.gc && self.config.ttl_secs > 0 {
+            let now = now_epoch();
+            let before = records.len();
+            records.retain(|(_, record)| !expired_at(self.config.ttl_secs, record.epoch, now));
+            let expired = (before - records.len()) as u64;
+            self.counters.expired_records.fetch_add(expired, Ordering::Relaxed);
+        }
 
         let new_id = inner.next_segment_id;
         inner.next_segment_id += 1;
@@ -607,6 +762,7 @@ impl ResponseStore {
                     offset,
                     frame_len: frame.len() as u32,
                     seq: i as u64,
+                    epoch: record.epoch,
                 },
             );
             new_order.push_back((i as u64, record.key));
@@ -642,8 +798,42 @@ impl ResponseStore {
         inner.order = new_order;
         inner.next_seq = live_count as u64;
         inner.dead_records = 0;
+        inner.formats = HashMap::from([(new_id, FORMAT_VERSION)]);
         self.counters.compactions.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Sweeps the TTL over the live index — entries whose TTL has lapsed
+    /// since open become dead — and compacts if the sweep pushed the dead
+    /// ratio over the threshold. Returns how many records expired. This is
+    /// the explicit GC entry point for stores configured with
+    /// [`StoreConfig::gc`] `= false` (automatic stores run the same logic at
+    /// open and inside every compaction).
+    pub fn gc(&self) -> io::Result<u64> {
+        if self.config.ttl_secs == 0 {
+            return Ok(0);
+        }
+        let now = now_epoch();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let expired_keys: Vec<u128> = inner
+            .index
+            .iter()
+            .filter(|(_, entry)| expired_at(self.config.ttl_secs, entry.epoch, now))
+            .map(|(&key, _)| key)
+            .collect();
+        for key in &expired_keys {
+            inner.index.remove(key);
+            if let Some(stash) = inner.stash.as_mut() {
+                stash.remove(key);
+            }
+            inner.dead_records += 1;
+        }
+        let expired = expired_keys.len() as u64;
+        self.counters.expired_records.fetch_add(expired, Ordering::Relaxed);
+        if expired > 0 && self.should_compact(&inner) {
+            self.compact_locked(&mut inner)?;
+        }
+        Ok(expired)
     }
 
     /// Forces an fsync of the active segment (a durability barrier regardless
@@ -670,6 +860,19 @@ impl Drop for ResponseStore {
     }
 }
 
+/// Whether a record written at `epoch` has outlived `ttl_secs` by `now`
+/// (`ttl_secs == 0` disables expiry). Shared with the sharded store's
+/// read-only foreign-slot scans so one expiry rule governs every path.
+pub(crate) fn expired_at(ttl_secs: u64, epoch: u64, now: u64) -> bool {
+    ttl_secs > 0 && epoch.saturating_add(ttl_secs) < now
+}
+
+/// The frame format of `segment` (segments this process writes are always
+/// current; only recovered ones can be older).
+fn segment_format(inner: &Inner, segment: u64) -> u16 {
+    inner.formats.get(&segment).copied().unwrap_or(FORMAT_VERSION)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -689,10 +892,15 @@ mod tests {
     }
 
     fn record(key: u128, flags: &[bool]) -> StoreRecord {
+        record_at(key, flags, now_epoch())
+    }
+
+    fn record_at(key: u128, flags: &[bool], epoch: u64) -> StoreRecord {
         StoreRecord {
             key,
             input_tokens: 100 + key as u64,
             output_tokens: key as u64,
+            epoch,
             value: ResponseValue::Flags(flags.to_vec()),
         }
     }
@@ -847,6 +1055,107 @@ mod tests {
         let second = ResponseStore::open(config).unwrap();
         assert_eq!(second.len(), 1);
         drop(second);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn expired_records_are_dropped_at_open_and_reclaimed() {
+        let dir = temp_dir();
+        let now = now_epoch();
+        let mut config = StoreConfig::new(dir.to_str().unwrap()).with_ttl_secs(3_600);
+        config.compact_threshold = 0.25;
+        {
+            // Write without a TTL so the stale records land on disk.
+            let store = ResponseStore::open(StoreConfig::new(dir.to_str().unwrap())).unwrap();
+            store.append(&record_at(1, &[true], now.saturating_sub(10_000))).unwrap();
+            store.append(&record_at(2, &[true], now.saturating_sub(20_000))).unwrap();
+            store.append(&record_at(3, &[true], now)).unwrap();
+            store.append(&record_at(4, &[false], 0)).unwrap(); // v1-style epoch
+        }
+        let store = ResponseStore::open(config.clone()).unwrap();
+        assert_eq!(store.recovery().records_expired, 3);
+        assert_eq!(store.len(), 1, "only the fresh record survives");
+        assert!(store.get(1).unwrap().is_none());
+        assert!(store.get(3).unwrap().is_some());
+        assert_eq!(store.stats().expired_records, 3);
+        // 3 dead vs 1 live crossed the threshold: open compacted the bin.
+        assert_eq!(store.stats().compactions, 1);
+        assert_eq!(store.stats().dead_records, 0);
+        drop(store);
+        // The compacted store no longer contains the expired frames at all.
+        let reopened = ResponseStore::open(config).unwrap();
+        assert_eq!(reopened.recovery().records_expired, 0);
+        assert_eq!(reopened.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_false_serves_stale_records_until_an_explicit_sweep() {
+        let dir = temp_dir();
+        let now = now_epoch();
+        let mut config = StoreConfig::new(dir.to_str().unwrap()).with_ttl_secs(60);
+        config.gc = false;
+        config.compact_threshold = 0.25;
+        let store = ResponseStore::open(config.clone()).unwrap();
+        store.append(&record_at(1, &[true], now.saturating_sub(1_000))).unwrap();
+        store.append(&record_at(2, &[true], now)).unwrap();
+        drop(store);
+
+        // gc = false: the stale record is still recovered and served.
+        let store = ResponseStore::open(config).unwrap();
+        assert_eq!(store.recovery().records_expired, 0);
+        assert_eq!(store.len(), 2);
+        assert!(store.get(1).unwrap().is_some());
+        // The explicit sweep expires it (and compacts past the threshold).
+        assert_eq!(store.gc().unwrap(), 1);
+        assert_eq!(store.len(), 1);
+        assert!(store.get(1).unwrap().is_none());
+        assert!(store.get(2).unwrap().is_some());
+        assert_eq!(store.stats().expired_records, 1);
+        assert_eq!(store.gc().unwrap(), 0, "a second sweep finds nothing");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reads_never_serve_records_that_expired_after_open() {
+        // A record that outlives its TTL while the store handle stays open
+        // must disappear from get()/load_live() immediately — the same
+        // verdict a sharded foreign reader or the next open would reach —
+        // even before gc()/compaction reclaims the frame.
+        let dir = temp_dir();
+        let now = now_epoch();
+        let mut config = StoreConfig::new(dir.to_str().unwrap()).with_ttl_secs(3_600);
+        config.compact_threshold = 100.0;
+        let store = ResponseStore::open(config).unwrap();
+        store.append(&record_at(1, &[true], now.saturating_sub(10_000))).unwrap();
+        store.append(&record_at(2, &[true], now)).unwrap();
+        assert!(store.get(1).unwrap().is_none(), "expired record is hidden from get");
+        assert!(store.get(2).unwrap().is_some());
+        let live = store.load_live().unwrap();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].key, 2);
+        // The frame itself is still on disk until gc/compaction reclaims it.
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.gc().unwrap(), 1);
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_filters_entries_that_expired_since_open() {
+        let dir = temp_dir();
+        let now = now_epoch();
+        let mut config = StoreConfig::new(dir.to_str().unwrap()).with_ttl_secs(3_600);
+        config.compact_threshold = 100.0; // manual compaction only
+        let store = ResponseStore::open(config).unwrap();
+        // Appended while the store is open (bypasses open-time expiry).
+        store.append(&record_at(1, &[true], now.saturating_sub(10_000))).unwrap();
+        store.append(&record_at(2, &[true], now)).unwrap();
+        assert_eq!(store.len(), 2);
+        store.compact().unwrap();
+        assert_eq!(store.len(), 1, "the compactor drops the expired record");
+        assert!(store.get(1).unwrap().is_none());
+        assert_eq!(store.stats().expired_records, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

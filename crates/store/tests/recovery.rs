@@ -20,6 +20,7 @@ fn record(key: u128) -> StoreRecord {
         key,
         input_tokens: 50 + key as u64,
         output_tokens: key as u64,
+        epoch: zeroed_store::now_epoch(),
         value: ResponseValue::Values(vec![format!("value-{key}"), "padding".into()]),
     }
 }
@@ -228,6 +229,7 @@ fn completed_compaction_supersedes_the_old_generation() {
         key: 1,
         input_tokens: 999,
         output_tokens: 9,
+        epoch: zeroed_store::now_epoch(),
         value: ResponseValue::Flags(vec![true]),
     };
     let mut bytes = zeroed_store::segment::encode_header(50).to_vec();

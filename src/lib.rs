@@ -17,11 +17,14 @@
 //! * [`runtime`] — the concurrent LLM orchestration runtime (worker-pool
 //!   scheduler, request-dedup response cache, and the multi-backend router
 //!   with hedged requests and circuit breaking);
+//! * [`store`] — the crash-safe on-disk response store (sharded writers,
+//!   TTL/GC, read-only inspection) behind cross-process warm starts;
 //! * [`baselines`] — dBoost, NADEEF, KATARA, Raha, ActiveClean and FM_ED;
 //! * [`core`] — the ZeroED pipeline itself.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour and the repository
-//! README for the architecture overview.
+//! See `examples/quickstart.rs` for a five-minute tour,
+//! `examples/persistent_store.rs` for the sharded-persistence operations
+//! tour, and ARCHITECTURE.md for the crate map and serving-stack overview.
 //!
 //! ```
 //! use zeroed::prelude::*;
@@ -42,6 +45,7 @@ pub use zeroed_features as features;
 pub use zeroed_llm as llm;
 pub use zeroed_ml as ml;
 pub use zeroed_runtime as runtime;
+pub use zeroed_store as store;
 pub use zeroed_table as table;
 
 /// The most commonly used items, re-exported for convenience.
