@@ -39,17 +39,27 @@
 //! one sharded root *simultaneously*, and a fresh detector warm-starts all K
 //! workloads from the merged slots with zero LLM requests.
 //!
+//! `--mangle` adds the degradation experiment: the same workload under a
+//! seeded content-corruption schedule. It asserts the mask is bit-identical
+//! between a sequential mangled oracle and a concurrent+cache run, that the
+//! per-stage repair accounting reconciles exactly (`mangled == repaired +
+//! reasked + defaulted`, with the totals equal to the simulator's corruption
+//! count), and that a warm re-run replays the *repaired* responses with zero
+//! LLM requests. The section reports per-stage counters, the re-ask ledger
+//! line, and the LLM-stage overhead versus a healthy run.
+//!
 //! ```text
-//! cargo run --release -p zeroed-bench --bin bench_runtime -- --router --persist
+//! cargo run --release -p zeroed-bench --bin bench_runtime -- --router --persist --mangle
 //! ```
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use zeroed_core::{
-    DetectionOutcome, RouterConfig, RouterLlm, RuntimeConfig, StoreConfig, ZeroEd, ZeroEdConfig,
+    DetectionOutcome, RouterConfig, RouterLlm, RuntimeConfig, StageRepair, StoreConfig, ZeroEd,
+    ZeroEdConfig,
 };
 use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
-use zeroed_llm::{FaultSchedule, LlmClient, LlmProfile};
+use zeroed_llm::{FaultSchedule, LlmClient, LlmProfile, MangleSchedule, SimLlm};
 
 const LATENCY_SCALE: f64 = 1.0;
 
@@ -74,8 +84,19 @@ fn run_mode(
 ) -> ModeResult {
     let llm = zeroed_bench::simulated_llm(ds, LlmProfile::qwen_72b(), seed)
         .with_latency_scale(LATENCY_SCALE);
+    run_mode_with(label, detector, ds, &llm)
+}
+
+/// Like [`run_mode`] but against a caller-built simulator (e.g. one with a
+/// mangle schedule attached).
+fn run_mode_with(
+    label: &'static str,
+    detector: &ZeroEd,
+    ds: &zeroed_datagen::GeneratedDataset,
+    llm: &SimLlm,
+) -> ModeResult {
     let t = Instant::now();
-    let outcome = detector.detect(&ds.dirty, &llm);
+    let outcome = detector.detect(&ds.dirty, llm);
     let total_ms = t.elapsed().as_secs_f64() * 1e3;
     let usage = llm.ledger().usage();
     let timings = &outcome.timings;
@@ -456,6 +477,166 @@ fn sharded_section(rows: usize, workers: usize) -> String {
     )
 }
 
+/// The `--mangle` experiment: the same detection workload under a seeded
+/// content-corruption schedule. A sequential mangled run is the oracle; a
+/// concurrent+cache run under the *same* schedule must produce a bit-identical
+/// mask with identical per-stage repair counters, and a warm re-run against
+/// the same detector must replay the *repaired* responses with zero LLM
+/// requests. A healthy (unmangled) cached run alongside gives the repair
+/// overhead. Capped at 3k rows — repair work scales with request count, which
+/// depends on columns, not rows.
+fn mangle_section(rows: usize, workers: usize) -> String {
+    const MANGLE_SEED: u64 = 29;
+    const MANGLE_RATE: f64 = 0.4;
+    let rows = rows.min(3_000).max(1);
+    eprintln!("mangling experiment: hospital @ {rows} rows, rate {MANGLE_RATE} ...");
+    let ds = generate(
+        DatasetSpec::Hospital,
+        &GenerateOptions {
+            n_rows: rows,
+            seed: 7,
+            error_spec: None,
+        },
+    );
+    let schedule = MangleSchedule::uniform(MANGLE_SEED, MANGLE_RATE);
+    let config = ZeroEdConfig::fast();
+    let cached = RuntimeConfig {
+        workers,
+        ..RuntimeConfig::default()
+    };
+
+    let mangled_llm = |label: &str| {
+        eprintln!("  mangled {label} ...");
+        zeroed_bench::simulated_llm(&ds, LlmProfile::qwen_72b(), 1)
+            .with_latency_scale(LATENCY_SCALE)
+            .with_mangling(schedule)
+    };
+
+    // Healthy baseline: same workload, same runtime, no corruption.
+    eprintln!("  healthy baseline ...");
+    let healthy_detector = ZeroEd::new(config.clone().with_runtime(cached.clone()));
+    let healthy = run_mode("mangle_healthy_baseline", &healthy_detector, &ds, 1);
+
+    // Sequential mangled oracle: the mask and counters every arm must match.
+    let seq_llm = mangled_llm("sequential oracle");
+    let seq_detector = ZeroEd::new(config.clone().sequential_runtime());
+    let t = Instant::now();
+    let seq = seq_detector.detect(&ds.dirty, &seq_llm);
+    let seq_ms = t.elapsed().as_secs_f64() * 1e3;
+    let repair = seq.stats.repair;
+    assert!(repair.reconciles(), "sequential: {repair:?} does not reconcile");
+    assert_eq!(
+        repair.total_mangled(),
+        seq_llm.mangled_responses(),
+        "sequential: every simulator corruption must land in a repair bucket"
+    );
+    assert!(repair.total_mangled() > 0, "rate {MANGLE_RATE} must corrupt something");
+
+    // Concurrent+cache under the same schedule: identical mask, identical
+    // per-stage accounting (the corruption draw is salt-keyed, not
+    // order-keyed), and the cache absorbs the repaired responses.
+    let conc_llm = mangled_llm("concurrent+cache cold");
+    let conc_detector = ZeroEd::new(config.clone().with_runtime(cached));
+    let conc = run_mode_with("mangle_concurrent_cached_cold", &conc_detector, &ds, &conc_llm);
+    assert_eq!(seq.mask, conc.outcome.mask, "mangled concurrent mask diverged");
+    assert_eq!(
+        conc.outcome.stats.repair, repair,
+        "per-stage repair counters must not depend on the execution mode"
+    );
+    assert_eq!(
+        conc.outcome.stats.repair.total_mangled(),
+        conc_llm.mangled_responses(),
+        "concurrent: every simulator corruption must land in a repair bucket"
+    );
+
+    // Warm re-run: the cache holds *repaired* responses, so nothing is
+    // re-fetched, re-corrupted or re-repaired.
+    let warm_llm = mangled_llm("warm re-run");
+    let warm = run_mode_with("mangle_warm_rerun", &conc_detector, &ds, &warm_llm);
+    assert_eq!(seq.mask, warm.outcome.mask, "mangled warm mask diverged");
+    assert_eq!(warm.requests, 0, "warm run must issue zero LLM requests");
+    assert_eq!(warm_llm.mangled_responses(), 0, "the simulator is never consulted warm");
+    assert_eq!(
+        warm.outcome.stats.repair.total_mangled(),
+        0,
+        "cached responses are already repaired"
+    );
+
+    // Re-ask attempts bill on the ledger's distinct re-ask line: with the
+    // default budget of 1, one attempt per re-asked and per defaulted request.
+    let (repaired, reasked, defaulted) = repair.total_handled();
+    let reask_usage = seq_llm.ledger().reask_usage();
+    assert_eq!(
+        reask_usage.requests,
+        reasked + defaulted,
+        "re-ask attempts must be billed on the distinct ledger line"
+    );
+
+    let overhead = conc.llm_stage_ms / healthy.llm_stage_ms.max(1e-9);
+    eprintln!(
+        "  mangled: {} corrupted -> {repaired} repaired / {reasked} re-asked / {defaulted} \
+         defaulted | llm-stage {:.0} ms vs healthy {:.0} ms ({overhead:.2}x) | warm 0 requests",
+        repair.total_mangled(),
+        conc.llm_stage_ms,
+        healthy.llm_stage_ms,
+    );
+
+    let stage_json = |name: &str, s: StageRepair| -> String {
+        format!(
+            "{{\"stage\": \"{name}\", \"mangled\": {}, \"repaired\": {}, \"reasked\": {}, \
+             \"defaulted\": {}}}",
+            s.mangled, s.repaired, s.reasked, s.defaulted
+        )
+    };
+    let stages = [
+        ("criteria", repair.criteria),
+        ("analysis", repair.analysis),
+        ("guideline", repair.guideline),
+        ("labels", repair.labels),
+        ("augment", repair.augment),
+    ]
+    .map(|(name, s)| format!("      {}", stage_json(name, s)));
+
+    let mut block = String::new();
+    let _ = writeln!(
+        block,
+        "    \"dataset\": \"hospital\", \"rows\": {rows}, \"workers\": {workers},"
+    );
+    let _ = writeln!(
+        block,
+        "    \"mangle_seed\": {MANGLE_SEED}, \"mangle_rate\": {MANGLE_RATE}, \"reask_budget\": {},",
+        ZeroEdConfig::default().reask_budget
+    );
+    let _ = writeln!(
+        block,
+        "    \"masks_identical\": true, \"accounting_reconciles\": true, \
+         \"warm_llm_requests\": 0,"
+    );
+    let _ = writeln!(
+        block,
+        "    \"total_mangled\": {}, \"repaired\": {repaired}, \"reasked\": {reasked}, \
+         \"defaulted\": {defaulted},",
+        repair.total_mangled()
+    );
+    let _ = writeln!(
+        block,
+        "    \"reask_line\": {{\"requests\": {}, \"tokens\": {}}},",
+        reask_usage.requests,
+        reask_usage.total()
+    );
+    let _ = writeln!(
+        block,
+        "    \"llm_stage_overhead_vs_healthy\": {overhead:.2}, \"sequential_mangled_ms\": {seq_ms:.1},"
+    );
+    let _ = writeln!(block, "    \"stages\": [");
+    let _ = writeln!(block, "{}", stages.join(",\n"));
+    let _ = writeln!(block, "    ],");
+    let _ = writeln!(block, "    \"healthy\": {},", mode_json(&healthy));
+    let _ = writeln!(block, "    \"mangled_cold\": {},", mode_json(&conc));
+    let _ = write!(block, "    \"mangled_warm\": {}", mode_json(&warm));
+    block
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_runtime.json".to_string();
@@ -463,6 +644,7 @@ fn main() {
     let mut workers = 16usize;
     let mut router = false;
     let mut persist = false;
+    let mut mangle = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -487,6 +669,7 @@ fn main() {
             "--quick" => rows = 5_000,
             "--router" => router = true,
             "--persist" => persist = true,
+            "--mangle" => mangle = true,
             _ => {}
         }
         i += 1;
@@ -613,6 +796,11 @@ fn main() {
     if persist {
         json.push_str(",\n  \"persistence\": {\n");
         json.push_str(&persist_section(rows, workers));
+        json.push_str("\n  }");
+    }
+    if mangle {
+        json.push_str(",\n  \"mangling\": {\n");
+        json.push_str(&mangle_section(rows, workers));
         json.push_str("\n  }");
     }
     json.push_str("\n}\n");

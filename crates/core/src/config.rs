@@ -50,11 +50,21 @@ pub struct ZeroEdConfig {
     pub use_verification: bool,
     /// Master seed for clustering, the detector and tie-breaking.
     pub seed: u64,
+    /// Re-asks the repair layer ([`crate::pipeline::repair::RepairLlm`]) may
+    /// issue per corrupted response before falling back to the deterministic
+    /// stage default (default 1). Re-ask tokens are booked on the ledger's
+    /// distinct re-ask line. 0 disables re-asking entirely.
+    #[serde(default = "default_reask_budget")]
+    pub reask_budget: usize,
     /// LLM orchestration runtime: execution mode (concurrent by default,
     /// sequential as the correctness oracle), worker pool sizing and the
     /// request-dedup response cache. Scheduling never changes the detection
     /// result — concurrent runs are bit-identical to sequential ones.
     pub runtime: RuntimeConfig,
+}
+
+fn default_reask_budget() -> usize {
+    1
 }
 
 /// Serialisable mirror of [`SamplingMethod`].
@@ -96,6 +106,7 @@ impl Default for ZeroEdConfig {
             use_corr: true,
             use_verification: true,
             seed: 42,
+            reask_budget: default_reask_budget(),
             runtime: RuntimeConfig::default(),
         }
     }
@@ -240,6 +251,7 @@ mod tests {
         assert_eq!(c.batch_size, 20);
         assert!((c.verification_threshold - 0.5).abs() < 1e-12);
         assert!(c.use_guidelines && c.use_criteria && c.use_corr && c.use_verification);
+        assert_eq!(c.reask_budget, 1, "one re-ask per corrupted response");
     }
 
     #[test]

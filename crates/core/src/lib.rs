@@ -49,6 +49,7 @@ pub mod pipeline;
 pub mod report;
 
 pub use config::ZeroEdConfig;
+pub use pipeline::repair::{RepairCounters, RepairLlm, StageRepair};
 pub use pipeline::ZeroEd;
 pub use report::{DetectionOutcome, PipelineStats, StepTimings};
 // Re-export the runtime configuration types so callers can tune execution

@@ -6,6 +6,7 @@
 //! parallel.
 
 use crate::config::ZeroEdConfig;
+use crate::pipeline::repair;
 use std::collections::HashMap;
 use zeroed_llm::{AttributeContext, LlmClient};
 
@@ -60,19 +61,17 @@ pub fn label_representatives(
         for (&row, &is_error) in batch.iter().zip(batch_labels.iter()) {
             outcome.labels.insert(row, is_error);
         }
-        // Short response: the zip above consumed the answered prefix; repair
-        // the unanswered suffix row by row.
-        for &row in batch.iter().skip(batch_labels.len()) {
-            outcome.fallback_cells += 1;
-            match llm.label_batch(ctx, guideline.as_ref(), &[row]).first() {
-                Some(&is_error) => {
-                    outcome.labels.insert(row, is_error);
-                }
-                None => {
-                    outcome.defaulted_cells += 1;
-                    outcome.labels.insert(row, false);
-                }
+        // Short response: the zip above consumed the answered prefix; the
+        // unanswered suffix goes through the shared per-row repair helper.
+        let unanswered = &batch[batch_labels.len().min(batch.len())..];
+        outcome.fallback_cells += unanswered.len();
+        for (row, is_error, defaulted) in
+            repair::relabel_rows_individually(llm, ctx, guideline.as_ref(), unanswered)
+        {
+            if defaulted {
+                outcome.defaulted_cells += 1;
             }
+            outcome.labels.insert(row, is_error);
         }
     }
     outcome

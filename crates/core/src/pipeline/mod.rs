@@ -28,6 +28,7 @@
 pub mod detector;
 pub mod features;
 pub mod labeling;
+pub mod repair;
 pub mod sampling;
 pub mod training_data;
 
@@ -121,11 +122,22 @@ impl ZeroEd {
 
     /// Runs the full pipeline on a dirty table and returns the predicted
     /// error mask together with timings and statistics.
+    ///
+    /// Every stage response flows through the repair/re-ask layer
+    /// ([`repair::RepairLlm`]) before the pipeline — or the response cache —
+    /// sees it: corrupted responses are structurally repaired, re-asked
+    /// within [`ZeroEdConfig::reask_budget`], or replaced by deterministic
+    /// stage defaults, with exact per-stage accounting in
+    /// [`PipelineStats::repair`]. Because the cache wraps the *repaired*
+    /// client, persisted stores always hold repaired responses and warm
+    /// starts replay them bit-identically with zero requests.
     pub fn detect(&self, dirty: &Table, llm: &dyn LlmClient) -> DetectionOutcome {
-        match self.config.runtime.mode {
-            ExecMode::Sequential => self.detect_sequential(dirty, llm),
+        let repairing = repair::RepairLlm::new(llm, self.config.reask_budget);
+        let mut outcome = match self.config.runtime.mode {
+            ExecMode::Sequential => self.detect_sequential(dirty, &repairing),
             ExecMode::Concurrent if self.config.runtime.cache => {
-                let mut cached = CachedLlm::for_table(llm, Arc::clone(&self.cache), dirty);
+                let mut cached =
+                    CachedLlm::for_table(&repairing, Arc::clone(&self.cache), dirty);
                 // A fresh sink per run: its counters attribute write-through
                 // activity to this run alone, even when cloned detectors
                 // share the layer and persist concurrently.
@@ -166,8 +178,10 @@ impl ZeroEd {
                 }
                 outcome
             }
-            ExecMode::Concurrent => self.detect_concurrent(dirty, llm),
-        }
+            ExecMode::Concurrent => self.detect_concurrent(dirty, &repairing),
+        };
+        outcome.stats.repair = repairing.counters();
+        outcome
     }
 
     /// Runs detection across several LLM backends through a

@@ -1,6 +1,7 @@
 //! Pipeline outputs: the predicted error mask, per-step timings and summary
 //! statistics.
 
+use crate::pipeline::repair::RepairCounters;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 use zeroed_table::ErrorMask;
@@ -104,6 +105,12 @@ pub struct PipelineStats {
     /// 0 when no store is configured). Shards let several detector
     /// *processes* write one store root concurrently.
     pub store_shards: usize,
+    /// Per-stage repair-ladder counters: corrupted responses detected and
+    /// how each was resolved (structural repair, re-ask, or deterministic
+    /// default). Every stage reconciles exactly:
+    /// `mangled == repaired + reasked + defaulted`.
+    #[serde(default)]
+    pub repair: RepairCounters,
 }
 
 /// The result of running ZeroED on a dirty table.

@@ -13,6 +13,7 @@ pub mod hospital;
 pub mod movies;
 pub mod rayyan;
 pub mod tax;
+pub mod workloads;
 
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;

@@ -74,7 +74,12 @@ use std::collections::HashSet;
 use zeroed_table::errors::{profile_errors, ErrorProfile};
 use zeroed_table::{ErrorMask, Table};
 
-/// The seven benchmark datasets of the paper's Table II.
+/// The seven benchmark datasets of the paper's Table II, plus three
+/// synthetic *workload shapes* ([`datasets::workloads`]) that stress
+/// specific pipeline dimensions (width, distinctness, schema heterogeneity).
+/// The workload shapes are named scenarios for the benchmark binaries; they
+/// are deliberately **not** part of [`DatasetSpec::ALL`] or
+/// [`DatasetSpec::COMPARISON`], which stay faithful to the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DatasetSpec {
     /// US hospital quality measures (1,000 × 20 in the paper).
@@ -91,6 +96,15 @@ pub enum DatasetSpec {
     Movies,
     /// Large synthetic tax dataset from the BART repository (200,000 × 22).
     Tax,
+    /// Workload shape: a very wide table (30 attributes) stressing
+    /// per-attribute fan-out.
+    Wide,
+    /// Workload shape: (nearly) unique values per row in most columns,
+    /// stressing the frequency/interning fast paths and clustering.
+    HighDistinct,
+    /// Workload shape: heterogeneous record kinds in one table, with
+    /// per-kind payload formats, stressing pattern features and guidelines.
+    MixedSchema,
 }
 
 impl DatasetSpec {
@@ -126,10 +140,14 @@ impl DatasetSpec {
             DatasetSpec::Billionaire => "Billionaire",
             DatasetSpec::Movies => "Movies",
             DatasetSpec::Tax => "Tax",
+            DatasetSpec::Wide => "Wide",
+            DatasetSpec::HighDistinct => "HighDistinct",
+            DatasetSpec::MixedSchema => "MixedSchema",
         }
     }
 
-    /// Number of tuples used in the paper's Table II.
+    /// Number of tuples used in the paper's Table II (default sizes for the
+    /// synthetic workload shapes, which have no paper counterpart).
     pub fn paper_rows(&self) -> usize {
         match self {
             DatasetSpec::Hospital => 1_000,
@@ -139,6 +157,9 @@ impl DatasetSpec {
             DatasetSpec::Billionaire => 2_615,
             DatasetSpec::Movies => 7_390,
             DatasetSpec::Tax => 200_000,
+            DatasetSpec::Wide => 2_000,
+            DatasetSpec::HighDistinct => 5_000,
+            DatasetSpec::MixedSchema => 3_000,
         }
     }
 
@@ -152,6 +173,9 @@ impl DatasetSpec {
             DatasetSpec::Billionaire => ErrorSpec::new(0.024, 0.031, 0.014, 0.018, 0.012),
             DatasetSpec::Movies => ErrorSpec::new(0.022, 0.023, 0.010, 0.010, 0.000),
             DatasetSpec::Tax => ErrorSpec::new(0.008, 0.012, 0.008, 0.006, 0.006),
+            DatasetSpec::Wide => ErrorSpec::new(0.015, 0.020, 0.015, 0.010, 0.010),
+            DatasetSpec::HighDistinct => ErrorSpec::new(0.020, 0.025, 0.020, 0.015, 0.010),
+            DatasetSpec::MixedSchema => ErrorSpec::new(0.020, 0.025, 0.020, 0.010, 0.012),
         }
     }
 
@@ -165,9 +189,19 @@ impl DatasetSpec {
             "billionaire" | "billion." => Some(DatasetSpec::Billionaire),
             "movies" => Some(DatasetSpec::Movies),
             "tax" => Some(DatasetSpec::Tax),
+            "wide" | "widetable" => Some(DatasetSpec::Wide),
+            "highdistinct" | "high-distinct" => Some(DatasetSpec::HighDistinct),
+            "mixedschema" | "mixed-schema" | "mixed" => Some(DatasetSpec::MixedSchema),
             _ => None,
         }
     }
+
+    /// The three synthetic workload shapes ([`datasets::workloads`]).
+    pub const WORKLOADS: [DatasetSpec; 3] = [
+        DatasetSpec::Wide,
+        DatasetSpec::HighDistinct,
+        DatasetSpec::MixedSchema,
+    ];
 }
 
 /// Options controlling dataset generation.
@@ -241,6 +275,9 @@ pub fn generate(spec: DatasetSpec, options: &GenerateOptions) -> GeneratedDatase
         DatasetSpec::Billionaire => datasets::billionaire::clean(n_rows, &mut rng),
         DatasetSpec::Movies => datasets::movies::clean(n_rows, &mut rng),
         DatasetSpec::Tax => datasets::tax::clean(n_rows, &mut rng),
+        DatasetSpec::Wide => datasets::workloads::wide(n_rows, &mut rng),
+        DatasetSpec::HighDistinct => datasets::workloads::high_distinct(n_rows, &mut rng),
+        DatasetSpec::MixedSchema => datasets::workloads::mixed_schema(n_rows, &mut rng),
     };
     let spec_err = options
         .error_spec
@@ -267,6 +304,9 @@ fn spec_seed(spec: DatasetSpec) -> u64 {
         DatasetSpec::Billionaire => 0x05,
         DatasetSpec::Movies => 0x06,
         DatasetSpec::Tax => 0x07,
+        DatasetSpec::Wide => 0x08,
+        DatasetSpec::HighDistinct => 0x09,
+        DatasetSpec::MixedSchema => 0x0a,
     }
 }
 
@@ -343,6 +383,32 @@ mod tests {
         assert_eq!(DatasetSpec::Movies.name(), "Movies");
         assert_eq!(DatasetSpec::ALL.len(), 7);
         assert_eq!(DatasetSpec::COMPARISON.len(), 6);
+    }
+
+    #[test]
+    fn workload_shapes_generate_and_stay_out_of_the_paper_sets() {
+        assert_eq!(DatasetSpec::WORKLOADS.len(), 3);
+        for spec in DatasetSpec::WORKLOADS {
+            // The paper-faithful spec lists must not grow.
+            assert!(!DatasetSpec::ALL.contains(&spec), "{}", spec.name());
+            assert!(!DatasetSpec::COMPARISON.contains(&spec), "{}", spec.name());
+            // Names round-trip through the CLI parser.
+            assert_eq!(DatasetSpec::parse(spec.name()), Some(spec), "{}", spec.name());
+            let ds = generate(
+                spec,
+                &GenerateOptions {
+                    n_rows: 120,
+                    seed: 3,
+                    error_spec: None,
+                },
+            );
+            assert_eq!(ds.dirty.n_rows(), 120, "{}", spec.name());
+            assert!(ds.mask.error_count() > 0, "{}", spec.name());
+            let diff = ErrorMask::diff(&ds.dirty, &ds.clean).unwrap();
+            assert_eq!(diff, ds.mask, "{}", spec.name());
+        }
+        assert_eq!(DatasetSpec::Wide.paper_rows(), 2_000);
+        assert_eq!(DatasetSpec::parse("mixed"), Some(DatasetSpec::MixedSchema));
     }
 
     #[test]

@@ -210,6 +210,23 @@ pub trait LlmClient: Send + Sync {
         0
     }
 
+    /// Marks the request identified by `salt` as being re-issued on
+    /// `attempt` (1 = the repair layer's single bounded re-ask; 0 clears the
+    /// mark once the re-ask returns).
+    ///
+    /// A served client needs no notion of attempts — retrying simply issues
+    /// the same request again — so the default is a no-op. The simulator
+    /// overrides it: its seeded [`crate::MangleSchedule`] folds the attempt
+    /// number into the corruption draw, so a re-ask of a mangled request
+    /// redraws independently (usually healthy, occasionally re-mangled), and
+    /// its ledger books the re-ask's tokens on the distinct `reask` line.
+    /// Composite clients forward the mark: a caching layer to its inner
+    /// client, the multi-backend router to *all* backends (any of them may
+    /// end up executing the re-ask).
+    fn note_reask(&self, salt: u64, attempt: u32) {
+        let _ = (salt, attempt);
+    }
+
     /// Simulated-fault probe for the request identified by `salt` (the value
     /// [`LlmClient::request_salt`] returns for it).
     ///

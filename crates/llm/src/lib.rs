@@ -25,6 +25,8 @@
 
 pub mod client;
 pub mod fault;
+pub mod mangle;
+pub mod parse;
 pub mod profile;
 pub mod prompts;
 pub mod sim;
@@ -32,6 +34,7 @@ pub mod token;
 
 pub use client::{AttributeContext, DistributionAnalysis, ErrorTypeGuide, Guideline, LlmClient};
 pub use fault::{FaultKind, FaultSchedule};
+pub use mangle::{MangleKind, MangleSchedule};
 pub use profile::{LlmLatency, LlmProfile};
 pub use sim::SimLlm;
 pub use token::{count_tokens, TokenLedger, TokenUsage};

@@ -1,0 +1,261 @@
+//! Lenient parsers for rendered stage responses.
+//!
+//! The simulated LLM renders every structured answer as the text a served
+//! model would produce ([`crate::prompts`]): labelling answers as numbered
+//! `clean`/`error` lines, augmentation answers as one value per line,
+//! criteria as `def is_clean_…(row, attr):` function listings, and the
+//! distribution analysis as a key–value summary block. These parsers walk
+//! the *text* back into typed values, tolerating everything a corrupted or
+//! truncated response can throw at them: garbage bytes, missing markers,
+//! half lines, interleaved noise.
+//!
+//! The contract — exercised by the byte-mutation fuzz tests below — is that
+//! no input, however malformed, panics a parser. Malformed input degrades to
+//! *fewer* parsed items (possibly none), which the pipeline's repair layer
+//! then treats like any other arity violation: repair, re-ask, or default.
+//! Parsers never invent items that the text does not contain.
+
+/// Parses a batch-labelling response: numbered `clean`/`error` lines
+/// (see [`crate::prompts::render_labels_response`]).
+///
+/// A line counts as an answer when it contains `error` or `clean` (case
+/// insensitive); lines with neither marker — or with both, which is
+/// ambiguous — are skipped. Truncated or noisy responses therefore yield a
+/// short answer vector, which the repair layer catches as an arity scar.
+pub fn parse_labels(text: &str) -> Vec<bool> {
+    text.lines()
+        .filter_map(|line| {
+            let lower = line.to_ascii_lowercase();
+            match (lower.contains("error"), lower.contains("clean")) {
+                (true, false) => Some(true),
+                (false, true) => Some(false),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Parses an error-augmentation response: one fabricated value per line
+/// (see [`crate::prompts::render_augment_response`]).
+///
+/// Augmented values may legitimately be empty strings (missing-value
+/// placeholders), so blank lines are kept — only an entirely empty body
+/// parses to no values.
+pub fn parse_values(text: &str) -> Vec<String> {
+    if text.is_empty() {
+        return Vec::new();
+    }
+    text.lines().map(str::to_string).collect()
+}
+
+/// Parses the function names out of a criteria response: every
+/// `def name(…` line yields its `name`
+/// (see [`crate::prompts::render_criteria_response`]).
+///
+/// Anything between `def ` and the first `(` is taken verbatim (trimmed);
+/// lines without both markers are ignored. Drifted names — ones that lost
+/// the `is_clean_` prefix — are still extracted, so the repair layer can
+/// see (and re-prefix) them instead of losing the criterion.
+pub fn parse_criteria_names(text: &str) -> Vec<String> {
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim_start().strip_prefix("def ")?;
+            let name = rest.split('(').next()?.trim();
+            if name.is_empty() {
+                None
+            } else {
+                Some(name.to_string())
+            }
+        })
+        .collect()
+}
+
+/// Summary counts recovered from a rendered distribution analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AnalysisSummary {
+    /// `Total records: N`, if present and numeric.
+    pub total_records: Option<usize>,
+    /// `Distinct values: N`, if present and numeric.
+    pub distinct_values: Option<usize>,
+    /// `Missing values: X%` as a ratio in `[0, 1]`, if present and numeric.
+    pub missing_ratio: Option<f64>,
+}
+
+/// Parses the key–value header of a distribution-analysis response
+/// (see [`crate::prompts::render_analysis`]).
+///
+/// Each field is recovered independently; a corrupted line simply leaves
+/// its field `None`. A non-finite or out-of-range percentage is treated as
+/// absent rather than trusted.
+pub fn parse_analysis_summary(text: &str) -> AnalysisSummary {
+    let mut summary = AnalysisSummary::default();
+    for line in text.lines() {
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        match key.trim() {
+            "Total records" => summary.total_records = value.parse().ok(),
+            "Distinct values" => summary.distinct_values = value.parse().ok(),
+            "Missing values" => {
+                summary.missing_ratio = value
+                    .strip_suffix('%')
+                    .and_then(|v| v.trim().parse::<f64>().ok())
+                    .map(|pct| pct / 100.0)
+                    .filter(|r| r.is_finite() && (0.0..=1.0).contains(r));
+            }
+            _ => {}
+        }
+    }
+    summary
+}
+
+/// Parses the FM_ED per-tuple response: whitespace-separated `yes`/`no`
+/// tokens (see [`crate::prompts::render_tuple_response`]). Unknown tokens
+/// are skipped.
+pub fn parse_tuple_flags(text: &str) -> Vec<bool> {
+    text.split_whitespace()
+        .filter_map(|tok| match tok.to_ascii_lowercase().as_str() {
+            "yes" => Some(true),
+            "no" => Some(false),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompts;
+
+    #[test]
+    fn round_trips_healthy_responses() {
+        let labels = vec![true, false, false, true];
+        assert_eq!(
+            parse_labels(&prompts::render_labels_response(&labels)),
+            labels
+        );
+
+        let values = vec!["7:45 am".to_string(), String::new(), "N/A".to_string()];
+        assert_eq!(
+            parse_values(&prompts::render_augment_response(&values)),
+            values
+        );
+
+        let mut set = zeroed_criteria::CriteriaSet::new(0);
+        for name in ["is_clean_city_not_missing", "is_clean_city_format"] {
+            set.criteria.push(zeroed_criteria::Criterion::new(
+                name,
+                "rationale",
+                zeroed_criteria::Check::NotMissing,
+            ));
+        }
+        assert_eq!(
+            parse_criteria_names(&prompts::render_criteria_response(&set)),
+            vec!["is_clean_city_not_missing", "is_clean_city_format"]
+        );
+
+        let flags = vec![false, true, false];
+        assert_eq!(
+            parse_tuple_flags(&prompts::render_tuple_response(&flags)),
+            flags
+        );
+    }
+
+    #[test]
+    fn parses_analysis_header_fields_independently() {
+        let text = "**Analysis of 'city'**\nTotal records: 120\nDistinct values: 3\nMissing values: 2.50%\n";
+        let s = parse_analysis_summary(text);
+        assert_eq!(s.total_records, Some(120));
+        assert_eq!(s.distinct_values, Some(3));
+        assert!((s.missing_ratio.unwrap() - 0.025).abs() < 1e-12);
+        // A corrupted percentage is dropped, the other fields survive.
+        let bad = "Total records: 120\nDistinct values: x\nMissing values: NaN%\n";
+        let s = parse_analysis_summary(bad);
+        assert_eq!(s.total_records, Some(120));
+        assert_eq!(s.distinct_values, None);
+        assert_eq!(s.missing_ratio, None);
+    }
+
+    #[test]
+    fn ambiguous_or_noisy_lines_are_skipped_not_guessed() {
+        assert_eq!(parse_labels("1. clean error\n2. ???\n3. error"), vec![true]);
+        assert!(parse_criteria_names("def (row, attr):\nreturn 1\n").is_empty());
+        assert!(parse_tuple_flags("maybe perhaps").is_empty());
+        assert!(parse_values("").is_empty());
+    }
+
+    /// Deterministic splitmix64 stream for the fuzz mutations.
+    fn rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Applies `n` seeded byte-level mutations (overwrite, insert, delete,
+    /// truncate) to a well-formed response, then repairs it back to UTF-8
+    /// lossily — exactly what a transport layer handing us corrupted bytes
+    /// would do.
+    fn mutate(text: &str, seed: u64, n: usize) -> String {
+        let mut draw = rng(seed);
+        let mut bytes = text.as_bytes().to_vec();
+        for _ in 0..n {
+            if bytes.is_empty() {
+                bytes.push((draw() % 256) as u8);
+                continue;
+            }
+            let pos = (draw() as usize) % bytes.len();
+            match draw() % 4 {
+                0 => bytes[pos] = (draw() % 256) as u8,
+                1 => bytes.insert(pos, (draw() % 256) as u8),
+                2 => {
+                    bytes.remove(pos);
+                }
+                _ => bytes.truncate(pos),
+            }
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    #[test]
+    fn mutated_responses_never_panic_any_parser() {
+        let labels = prompts::render_labels_response(&[true, false, true, false, true]);
+        let values = prompts::render_augment_response(&[
+            "7:45 am".into(),
+            "NULL".into(),
+            "Boston##".into(),
+        ]);
+        let mut set = zeroed_criteria::CriteriaSet::new(1);
+        set.criteria.push(zeroed_criteria::Criterion::new(
+            "is_clean_city_not_missing",
+            "values should be present",
+            zeroed_criteria::Check::NotMissing,
+        ));
+        let criteria = prompts::render_criteria_response(&set);
+        let analysis =
+            "**Analysis of 'city'**\nTotal records: 120\nDistinct values: 3\nMissing values: 2.50%\n";
+        let tuple = prompts::render_tuple_response(&[true, false, false]);
+
+        for seed in 0..200u64 {
+            for &n in &[1usize, 4, 16, 64] {
+                // Parsed output may shrink but never exceeds what the text
+                // holds, and no input panics.
+                let l = parse_labels(&mutate(&labels, seed, n));
+                assert!(l.len() <= labels.lines().count());
+                let _ = parse_values(&mutate(&values, seed ^ 1, n));
+                let c = parse_criteria_names(&mutate(&criteria, seed ^ 2, n));
+                assert!(c.iter().all(|name| !name.is_empty()));
+                let s = parse_analysis_summary(&mutate(analysis, seed ^ 3, n));
+                if let Some(r) = s.missing_ratio {
+                    assert!(r.is_finite() && (0.0..=1.0).contains(&r));
+                }
+                let _ = parse_tuple_flags(&mutate(&tuple, seed ^ 4, n));
+            }
+        }
+    }
+}

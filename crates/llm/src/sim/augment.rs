@@ -7,6 +7,7 @@
 //! in-domain value swaps (rule-violation-like inconsistencies).
 
 use super::profiling::ColumnProfile;
+use crate::mangle::MangleKind;
 
 /// Deterministic hash-based choice in `[0, n)`.
 fn pick(seed: u64, salt: u64, n: usize) -> usize {
@@ -84,6 +85,28 @@ pub fn augment_errors(
     out
 }
 
+/// Applies one seeded content corruption to an augmentation response (see
+/// [`crate::mangle`]). The response contract is arity (`values.len()` must
+/// equal the requested count), so every kind maps onto an arity scar:
+/// truncation, extra hallucinated values, or an empty body. Callers only
+/// mangle non-empty responses — an empty healthy answer (no clean examples)
+/// has no items to corrupt.
+pub fn mangle_values(mut values: Vec<String>, kind: MangleKind) -> Vec<String> {
+    match kind {
+        MangleKind::TruncatedList | MangleKind::SchemaDrift => {
+            let keep = values.len() / 2;
+            values.truncate(keep);
+            values
+        }
+        MangleKind::WrongArity | MangleKind::HallucinatedColumn => {
+            values.push("value copied from an unrelated attribute".to_string());
+            values.push("another fabricated value beyond the requested count".to_string());
+            values
+        }
+        MangleKind::MalformedJson | MangleKind::EmptyBody => Vec::new(),
+    }
+}
+
 fn typo(base: &str, seed: u64, salt: u64) -> String {
     let chars: Vec<char> = base.chars().collect();
     if chars.is_empty() {
@@ -143,5 +166,20 @@ mod tests {
         let p = profile();
         assert!(augment_errors(&p, &[], 5, 1).is_empty());
         assert!(augment_errors(&p, &["x".into()], 0, 1).is_empty());
+    }
+
+    #[test]
+    fn every_mangle_kind_breaks_the_arity_contract() {
+        let p = profile();
+        let clean = vec!["Boston".to_string(), "Denver".to_string()];
+        let count = 8;
+        let healthy = augment_errors(&p, &clean, count, 5);
+        assert_eq!(healthy.len(), count);
+        for kind in MangleKind::ALL {
+            let mangled = mangle_values(healthy.clone(), kind);
+            assert_ne!(mangled.len(), count, "{kind:?} kept the arity intact");
+        }
+        // A single-value response truncates to an (invalid) empty one.
+        assert!(mangle_values(vec!["x".into()], MangleKind::TruncatedList).is_empty());
     }
 }

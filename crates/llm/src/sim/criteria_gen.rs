@@ -8,6 +8,7 @@
 //! (weaker models emit fewer, coarser criteria).
 
 use super::profiling::ColumnProfile;
+use crate::mangle::MangleKind;
 use std::collections::HashSet;
 use zeroed_criteria::{Check, CriteriaSet, Criterion};
 use zeroed_features::pattern::{generalize, Level};
@@ -206,6 +207,58 @@ pub fn refine_criteria(
     refined
 }
 
+/// Applies one seeded content corruption to a criteria response (see
+/// [`crate::mangle`]). Every kind leaves a scar the repair layer's validator
+/// always catches: an unnamed criterion, a column index outside the schema
+/// (`n_cols` wide), duplicated function names, names drifted out of the
+/// `is_clean_` namespace, or the unrepairable empty/garbage sentinel.
+pub fn mangle_criteria(mut set: CriteriaSet, kind: MangleKind, n_cols: usize) -> CriteriaSet {
+    // A legitimately empty criteria set has no list items to corrupt; the
+    // arity/drift kinds degrade to the unparseable sentinel so the corruption
+    // never hides behind a healthy-looking empty response.
+    let unparseable = || CriteriaSet {
+        column: usize::MAX,
+        criteria: Vec::new(),
+    };
+    match kind {
+        MangleKind::TruncatedList => {
+            let keep = set.criteria.len() / 2;
+            set.criteria.truncate(keep);
+            set.criteria.push(Criterion::new(
+                "",
+                "the response cut off in the middle of a function definition",
+                Check::NotMissing,
+            ));
+            set
+        }
+        MangleKind::MalformedJson | MangleKind::EmptyBody => unparseable(),
+        MangleKind::HallucinatedColumn => {
+            set.column = set.column.saturating_add(n_cols).saturating_add(1);
+            set
+        }
+        MangleKind::WrongArity => {
+            if set.criteria.is_empty() {
+                return unparseable();
+            }
+            let dup = set.criteria.clone();
+            set.criteria.extend(dup);
+            set
+        }
+        MangleKind::SchemaDrift => {
+            if set.criteria.is_empty() {
+                return unparseable();
+            }
+            for c in &mut set.criteria {
+                c.name = match c.name.strip_prefix("is_clean_") {
+                    Some(rest) => rest.to_string(),
+                    None => format!("drifted_{}", c.name),
+                };
+            }
+            set
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,5 +319,30 @@ mod tests {
         // Empty clean examples are a no-op.
         let noop = refine_criteria(&profile, &base, &[], &["x".into()]);
         assert_eq!(noop.len(), base.len());
+    }
+
+    #[test]
+    fn every_mangle_kind_leaves_a_detectable_scar() {
+        let profile = zip_profile();
+        let base = build_criteria(&profile, 0.95);
+        let n_cols = 2;
+        let scarred = |set: &CriteriaSet| {
+            set.column != base.column
+                || set.criteria.iter().any(|c| !c.name.starts_with("is_clean_"))
+                || {
+                    let mut names: Vec<&str> =
+                        set.criteria.iter().map(|c| c.name.as_str()).collect();
+                    names.sort_unstable();
+                    names.windows(2).any(|w| w[0] == w[1])
+                }
+        };
+        for kind in crate::mangle::MangleKind::ALL {
+            let mangled = mangle_criteria(base.clone(), kind, n_cols);
+            assert!(scarred(&mangled), "{kind:?} left no scar");
+            // Scars survive even when the healthy response is empty.
+            let mangled_empty =
+                mangle_criteria(CriteriaSet::new(base.column), kind, n_cols);
+            assert!(scarred(&mangled_empty), "{kind:?} hid behind an empty set");
+        }
     }
 }

@@ -3,6 +3,7 @@
 
 use super::profiling::ColumnProfile;
 use crate::client::{DistributionAnalysis, ErrorTypeGuide, Guideline};
+use crate::mangle::MangleKind;
 use zeroed_table::ErrorType;
 
 /// Produces the distribution analysis that "executing the LLM-written analysis
@@ -135,6 +136,88 @@ pub fn build_guideline(profile: &ColumnProfile, analysis: &DistributionAnalysis)
     }
 }
 
+/// Applies one seeded content corruption to a distribution-analysis response
+/// (see [`crate::mangle`]). Scars: empty findings (a healthy analysis always
+/// reports at least one), a non-finite missing ratio (the unrepairable
+/// garbage sentinel), a column name outside the schema, or record counts that
+/// cannot match the analysed table.
+pub fn mangle_analysis(mut a: DistributionAnalysis, kind: MangleKind) -> DistributionAnalysis {
+    match kind {
+        MangleKind::TruncatedList => {
+            a.findings.clear();
+            a.rare_values.clear();
+            a.frequent_patterns.truncate(1);
+            a
+        }
+        MangleKind::MalformedJson => {
+            a.missing_ratio = f64::NAN;
+            a
+        }
+        MangleKind::HallucinatedColumn => {
+            a.column = format!("{}_id", a.column);
+            a
+        }
+        MangleKind::WrongArity => {
+            a.total_records = a.total_records * 2 + 1;
+            a.distinct_values = a.total_records + 1;
+            a
+        }
+        MangleKind::SchemaDrift => {
+            a.column = format!("{}::v2", a.column);
+            a.total_records = 0;
+            a
+        }
+        MangleKind::EmptyBody => DistributionAnalysis {
+            column: String::new(),
+            total_records: 0,
+            distinct_values: 0,
+            missing_ratio: f64::NAN,
+            frequent_values: Vec::new(),
+            rare_values: Vec::new(),
+            frequent_patterns: Vec::new(),
+            numeric_summary: None,
+            findings: Vec::new(),
+        },
+    }
+}
+
+/// Applies one seeded content corruption to a guideline response (see
+/// [`crate::mangle`]). Scars: fewer or more than the five canonical error
+/// types, entries out of canonical order, a drifted column name, or the
+/// empty/garbage sentinel with no salvageable entries.
+pub fn mangle_guideline(mut g: Guideline, kind: MangleKind) -> Guideline {
+    match kind {
+        MangleKind::TruncatedList => {
+            g.error_types.truncate(2);
+            g
+        }
+        MangleKind::MalformedJson => {
+            g.error_types.clear();
+            g.explanation = "{ \"guideline\": [ unterminated".to_string();
+            g
+        }
+        MangleKind::HallucinatedColumn => {
+            g.column = format!("{}_notes", g.column);
+            g
+        }
+        MangleKind::WrongArity => {
+            if let Some(first) = g.error_types.first().cloned() {
+                g.error_types.push(first);
+            }
+            g
+        }
+        MangleKind::SchemaDrift => {
+            g.error_types.reverse();
+            g
+        }
+        MangleKind::EmptyBody => Guideline {
+            column: String::new(),
+            explanation: String::new(),
+            error_types: Vec::new(),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +274,39 @@ mod tests {
             .find(|e| e.error_type == ErrorType::Outlier)
             .unwrap();
         assert!(outlier.detection.contains("flag numeric values outside"));
+    }
+
+    #[test]
+    fn every_mangle_kind_scars_analysis_and_guideline() {
+        let p = profile();
+        let a = build_analysis(&p);
+        let g = build_guideline(&p, &a);
+        let analysis_scarred = |m: &DistributionAnalysis| {
+            m.column != a.column
+                || m.total_records != a.total_records
+                || m.distinct_values > m.total_records
+                || !m.missing_ratio.is_finite()
+                || m.findings.is_empty()
+        };
+        let guideline_scarred = |m: &Guideline| {
+            m.column != g.column
+                || m.error_types.len() != g.error_types.len()
+                || m.error_types
+                    .iter()
+                    .zip(g.error_types.iter())
+                    .any(|(e, h)| e.error_type != h.error_type)
+        };
+        assert!(!analysis_scarred(&a), "healthy analysis must be unscarred");
+        assert!(!guideline_scarred(&g), "healthy guideline must be unscarred");
+        for kind in MangleKind::ALL {
+            assert!(
+                analysis_scarred(&mangle_analysis(a.clone(), kind)),
+                "{kind:?} left the analysis unscarred"
+            );
+            assert!(
+                guideline_scarred(&mangle_guideline(g.clone(), kind)),
+                "{kind:?} left the guideline unscarred"
+            );
+        }
     }
 }

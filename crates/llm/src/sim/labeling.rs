@@ -14,6 +14,7 @@
 //!    (Table V) and the guideline ablation (Table IV) without network access.
 
 use super::profiling::ColumnProfile;
+use crate::mangle::MangleKind;
 use crate::profile::LlmProfile;
 use zeroed_table::value::is_missing;
 use zeroed_table::{ErrorType, Table};
@@ -126,6 +127,27 @@ pub fn label_cell(
         } else {
             heuristic
         }
+    }
+}
+
+/// Applies one seeded content corruption to a batch-labelling response (see
+/// [`crate::mangle`]). The response contract is arity (one label per
+/// requested row), so every kind maps onto an arity scar: a truncated answer
+/// list, extra labels beyond the batch, or an empty body. Callers only mangle
+/// non-empty batches — an empty request has no answer lines to corrupt.
+pub fn mangle_labels(mut labels: Vec<bool>, kind: MangleKind) -> Vec<bool> {
+    match kind {
+        MangleKind::TruncatedList | MangleKind::SchemaDrift => {
+            let keep = labels.len() / 2;
+            labels.truncate(keep);
+            labels
+        }
+        MangleKind::WrongArity | MangleKind::HallucinatedColumn => {
+            labels.push(false);
+            labels.push(true);
+            labels
+        }
+        MangleKind::MalformedJson | MangleKind::EmptyBody => Vec::new(),
     }
 }
 
@@ -290,5 +312,17 @@ mod tests {
         let n = 2_000;
         let mean: f64 = (0..n).map(|i| cell_draw(1, i, 0, 3)).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn every_mangle_kind_breaks_label_arity() {
+        let healthy = vec![true, false, true, false, true, false];
+        for kind in MangleKind::ALL {
+            let mangled = mangle_labels(healthy.clone(), kind);
+            assert_ne!(mangled.len(), healthy.len(), "{kind:?} kept the arity");
+        }
+        // Over-arity answers keep the healthy prefix (a trim recovers them).
+        let over = mangle_labels(healthy.clone(), MangleKind::WrongArity);
+        assert_eq!(&over[..healthy.len()], &healthy[..]);
     }
 }

@@ -16,6 +16,7 @@ pub mod profiling;
 
 use crate::client::{AttributeContext, DistributionAnalysis, Guideline, LlmClient};
 use crate::fault::{FaultKind, FaultSchedule};
+use crate::mangle::{MangleKind, MangleSchedule};
 use crate::profile::LlmProfile;
 use crate::prompts;
 use crate::token::TokenLedger;
@@ -47,6 +48,17 @@ pub struct SimLlm {
     /// Seeded fault-injection schedule (see [`crate::fault`]). `None` means a
     /// perfectly healthy backend.
     faults: Option<FaultSchedule>,
+    /// Seeded content-corruption schedule (see [`crate::mangle`]). `None`
+    /// means responses are never mangled.
+    mangling: Option<MangleSchedule>,
+    /// Per-request attempt marks set through [`LlmClient::note_reask`]:
+    /// `salt → attempt`. An absent entry is attempt 0 (the first ask). The
+    /// mangle draw folds the attempt in, so a re-ask redraws independently.
+    attempts: Mutex<HashMap<u64, u32>>,
+    /// Number of first-ask responses this simulator actually corrupted —
+    /// the conformance suite's "zero silent drops" reference: every count
+    /// here must reappear as a `mangled` count in the repair layer.
+    mangled_responses: Mutex<usize>,
     profile_cache: Mutex<HashMap<(String, usize, usize), Arc<ColumnProfile>>>,
 }
 
@@ -70,6 +82,9 @@ impl SimLlm {
             oracle: Oracle::default(),
             latency_scale: 0.0,
             faults: None,
+            mangling: None,
+            attempts: Mutex::new(HashMap::new()),
+            mangled_responses: Mutex::new(0),
             profile_cache: Mutex::new(HashMap::new()),
         }
     }
@@ -125,6 +140,51 @@ impl SimLlm {
         self.faults.as_ref()
     }
 
+    /// Attaches a seeded content-corruption schedule (see [`crate::mangle`]).
+    ///
+    /// Unlike transport faults, mangled calls *succeed*: the response body is
+    /// corrupted per the schedule's seeded draw over `(salt, attempt)` and
+    /// charged to the ledger at its corrupted size. The FM_ED per-tuple path
+    /// ([`LlmClient::detect_tuple`]) is exempt — it is a baseline outside the
+    /// pipeline's repair layer, so corrupting it would only measure the
+    /// baseline's lack of a repair path, not the pipeline's degradation.
+    pub fn with_mangling(mut self, schedule: MangleSchedule) -> Self {
+        self.mangling = Some(schedule);
+        self
+    }
+
+    /// The attached mangle schedule, if any.
+    pub fn mangle_schedule(&self) -> Option<&MangleSchedule> {
+        self.mangling.as_ref()
+    }
+
+    /// How many first-ask responses were actually corrupted so far. The
+    /// conformance suite compares this against the repair layer's `mangled`
+    /// counters: equality proves no corruption slipped through undetected.
+    pub fn mangled_responses(&self) -> usize {
+        *self.mangled_responses.lock()
+    }
+
+    /// The mangle decision for the request identified by `salt` at its
+    /// current attempt mark. Returns `(attempt, kind)`; the caller records
+    /// the corruption via [`SimLlm::record_mangled`] only if it actually
+    /// applies the transform (degenerate responses with nothing to corrupt
+    /// are skipped, so the silent-drop reference counter stays exact).
+    fn mangle_decision(&self, salt: u64) -> (u32, Option<MangleKind>) {
+        let attempt = self.attempts.lock().get(&salt).copied().unwrap_or(0);
+        let kind = self.mangling.as_ref().and_then(|s| s.decide(salt, attempt));
+        (attempt, kind)
+    }
+
+    /// Bumps the silent-drop reference counter for an applied first-ask
+    /// corruption (re-ask corruptions are accounted inside the repair
+    /// layer's `defaulted` bucket, not as fresh mangles).
+    fn record_mangled(&self, attempt: u32) {
+        if attempt == 0 {
+            *self.mangled_responses.lock() += 1;
+        }
+    }
+
     /// The backbone profile used by this simulator.
     pub fn model_profile(&self) -> &LlmProfile {
         &self.profile
@@ -133,11 +193,17 @@ impl SimLlm {
     /// Records one rendered call in the ledger (tokens + simulated latency)
     /// and, when latency simulation is enabled, sleeps for the scaled cost.
     /// `extra` is additional serving latency beyond the profile's token-linear
-    /// model — the slow-tail fault penalty.
-    fn charge(&self, prompt: &str, response: &str, extra: std::time::Duration) {
+    /// model — the slow-tail fault penalty. `reask` marks the call as a
+    /// repair-layer re-ask, booking its tokens on the ledger's distinct
+    /// re-ask line (still included in the main usage).
+    fn charge(&self, prompt: &str, response: &str, extra: std::time::Duration, reask: bool) {
         let input = crate::token::count_tokens(prompt);
         let output = crate::token::count_tokens(response);
-        self.ledger.record_counts(input, output);
+        if reask {
+            self.ledger.record_reask_counts(input, output);
+        } else {
+            self.ledger.record_counts(input, output);
+        }
         let cost = self.profile.latency.call_cost(input, output) + extra;
         self.ledger.record_sim_cost(cost);
         if self.latency_scale > 0.0 {
@@ -146,23 +212,13 @@ impl SimLlm {
     }
 
     /// The slow-tail latency penalty (if any) the fault schedule injects into
-    /// the request identified by `(table, column, rows)`. Error/timeout
-    /// faults are *not* applied here — they surface through
-    /// [`LlmClient::injected_fault`] so an orchestration layer can reroute.
-    fn slow_tail_extra(
-        &self,
-        table: &Table,
-        column: Option<usize>,
-        rows: &[usize],
-    ) -> std::time::Duration {
+    /// the request identified by `salt`. Error/timeout faults are *not*
+    /// applied here — they surface through [`LlmClient::injected_fault`] so
+    /// an orchestration layer can reroute.
+    fn slow_tail_extra(&self, salt: u64) -> std::time::Duration {
         match &self.faults {
-            Some(s) if !s.is_healthy() => {
-                let salt = self.request_salt(table, column, rows);
-                if s.decide(salt) == Some(FaultKind::SlowTail) {
-                    s.slow_tail_penalty()
-                } else {
-                    std::time::Duration::ZERO
-                }
+            Some(s) if !s.is_healthy() && s.decide(salt) == Some(FaultKind::SlowTail) => {
+                s.slow_tail_penalty()
             }
             _ => std::time::Duration::ZERO,
         }
@@ -202,22 +258,32 @@ impl LlmClient for SimLlm {
     }
 
     fn generate_criteria(&self, ctx: &AttributeContext<'_>) -> CriteriaSet {
+        let salt = self.request_salt(ctx.table, Some(ctx.column), ctx.sample_rows);
+        let (attempt, mangle) = self.mangle_decision(salt);
         let profile = self.column_profile(ctx.table, ctx.column, ctx.correlated);
-        let set = criteria_gen::build_criteria(&profile, self.profile.criteria_quality);
+        let mut set = criteria_gen::build_criteria(&profile, self.profile.criteria_quality);
+        if let Some(kind) = mangle {
+            set = criteria_gen::mangle_criteria(set, kind, ctx.table.n_cols());
+            self.record_mangled(attempt);
+        }
         let prompt = prompts::criteria_prompt(ctx);
         let response = prompts::render_criteria_response(&set);
-        let extra = self.slow_tail_extra(ctx.table, Some(ctx.column), ctx.sample_rows);
-        self.charge(&prompt, &response, extra);
+        self.charge(&prompt, &response, self.slow_tail_extra(salt), attempt > 0);
         set
     }
 
     fn analyze_distribution(&self, ctx: &AttributeContext<'_>) -> DistributionAnalysis {
+        let salt = self.request_salt(ctx.table, Some(ctx.column), ctx.sample_rows);
+        let (attempt, mangle) = self.mangle_decision(salt);
         let profile = self.column_profile(ctx.table, ctx.column, ctx.correlated);
-        let analysis = guideline_gen::build_analysis(&profile);
+        let mut analysis = guideline_gen::build_analysis(&profile);
+        if let Some(kind) = mangle {
+            analysis = guideline_gen::mangle_analysis(analysis, kind);
+            self.record_mangled(attempt);
+        }
         let prompt = prompts::analysis_prompt(ctx);
         let response = prompts::render_analysis(&analysis);
-        let extra = self.slow_tail_extra(ctx.table, Some(ctx.column), ctx.sample_rows);
-        self.charge(&prompt, &response, extra);
+        self.charge(&prompt, &response, self.slow_tail_extra(salt), attempt > 0);
         analysis
     }
 
@@ -226,12 +292,17 @@ impl LlmClient for SimLlm {
         ctx: &AttributeContext<'_>,
         analysis: &DistributionAnalysis,
     ) -> Guideline {
+        let salt = self.request_salt(ctx.table, Some(ctx.column), ctx.sample_rows);
+        let (attempt, mangle) = self.mangle_decision(salt);
         let profile = self.column_profile(ctx.table, ctx.column, ctx.correlated);
-        let guideline = guideline_gen::build_guideline(&profile, analysis);
+        let mut guideline = guideline_gen::build_guideline(&profile, analysis);
+        if let Some(kind) = mangle {
+            guideline = guideline_gen::mangle_guideline(guideline, kind);
+            self.record_mangled(attempt);
+        }
         let prompt = prompts::guideline_prompt(ctx, analysis);
         let response = guideline.render();
-        let extra = self.slow_tail_extra(ctx.table, Some(ctx.column), ctx.sample_rows);
-        self.charge(&prompt, &response, extra);
+        self.charge(&prompt, &response, self.slow_tail_extra(salt), attempt > 0);
         guideline
     }
 
@@ -241,8 +312,10 @@ impl LlmClient for SimLlm {
         guideline: Option<&Guideline>,
         rows: &[usize],
     ) -> Vec<bool> {
+        let salt = self.request_salt(ctx.table, Some(ctx.column), rows);
+        let (attempt, mangle) = self.mangle_decision(salt);
         let profile = self.column_profile(ctx.table, ctx.column, ctx.correlated);
-        let labels: Vec<bool> = rows
+        let mut labels: Vec<bool> = rows
             .iter()
             .map(|&row| {
                 labeling::label_cell(
@@ -257,10 +330,15 @@ impl LlmClient for SimLlm {
                 )
             })
             .collect();
+        // An empty batch has no answer lines to corrupt; skip it so the
+        // silent-drop reference counter only counts real corruptions.
+        if let (Some(kind), false) = (mangle, rows.is_empty()) {
+            labels = labeling::mangle_labels(labels, kind);
+            self.record_mangled(attempt);
+        }
         let prompt = prompts::labeling_prompt(ctx, guideline, rows);
         let response = prompts::render_labels_response(&labels);
-        let extra = self.slow_tail_extra(ctx.table, Some(ctx.column), rows);
-        self.charge(&prompt, &response, extra);
+        self.charge(&prompt, &response, self.slow_tail_extra(salt), attempt > 0);
         labels
     }
 
@@ -271,13 +349,18 @@ impl LlmClient for SimLlm {
         error_examples: &[String],
         existing: &CriteriaSet,
     ) -> CriteriaSet {
+        let salt = self.request_salt(ctx.table, Some(ctx.column), &[]);
+        let (attempt, mangle) = self.mangle_decision(salt);
         let profile = self.column_profile(ctx.table, ctx.column, ctx.correlated);
-        let refined =
+        let mut refined =
             criteria_gen::refine_criteria(&profile, existing, clean_examples, error_examples);
+        if let Some(kind) = mangle {
+            refined = criteria_gen::mangle_criteria(refined, kind, ctx.table.n_cols());
+            self.record_mangled(attempt);
+        }
         let prompt = prompts::contrastive_prompt(ctx, clean_examples, error_examples);
         let response = prompts::render_criteria_response(&refined);
-        let extra = self.slow_tail_extra(ctx.table, Some(ctx.column), &[]);
-        self.charge(&prompt, &response, extra);
+        self.charge(&prompt, &response, self.slow_tail_extra(salt), attempt > 0);
         refined
     }
 
@@ -287,12 +370,19 @@ impl LlmClient for SimLlm {
         clean_examples: &[String],
         count: usize,
     ) -> Vec<String> {
+        let salt = self.request_salt(ctx.table, Some(ctx.column), &[]);
+        let (attempt, mangle) = self.mangle_decision(salt);
         let profile = self.column_profile(ctx.table, ctx.column, ctx.correlated);
-        let generated = augment::augment_errors(&profile, clean_examples, count, self.seed);
+        let mut generated = augment::augment_errors(&profile, clean_examples, count, self.seed);
+        // A legitimately empty answer (no clean examples / zero count) has no
+        // items to corrupt; skip it so the reference counter stays exact.
+        if let (Some(kind), false) = (mangle, generated.is_empty()) {
+            generated = augment::mangle_values(generated, kind);
+            self.record_mangled(attempt);
+        }
         let prompt = prompts::augmentation_prompt(ctx, clean_examples, count);
         let response = prompts::render_augment_response(&generated);
-        let extra = self.slow_tail_extra(ctx.table, Some(ctx.column), &[]);
-        self.charge(&prompt, &response, extra);
+        self.charge(&prompt, &response, self.slow_tail_extra(salt), attempt > 0);
         generated
     }
 
@@ -313,8 +403,8 @@ impl LlmClient for SimLlm {
             .collect();
         let prompt = prompts::tuple_prompt(table, row);
         let response = prompts::render_tuple_response(&flags);
-        let extra = self.slow_tail_extra(table, None, &[row]);
-        self.charge(&prompt, &response, extra);
+        let salt = self.request_salt(table, None, &[row]);
+        self.charge(&prompt, &response, self.slow_tail_extra(salt), false);
         flags
     }
 
@@ -333,6 +423,12 @@ impl LlmClient for SimLlm {
             Some(c) => vec![c],
             None => (0..table.n_cols()).collect(),
         };
+        // Fold the column identity in even when `rows` is empty (the
+        // refine/augment requests), so each per-attribute request draws its
+        // own fault/mangle decision and keeps a distinct re-ask attempt mark.
+        for &col in &cols {
+            mix(col as u64 + 1);
+        }
         for &row in rows {
             mix(row as u64);
             for &col in &cols {
@@ -346,6 +442,14 @@ impl LlmClient for SimLlm {
             }
         }
         h
+    }
+
+    fn note_reask(&self, salt: u64, attempt: u32) {
+        if attempt == 0 {
+            self.attempts.lock().remove(&salt);
+        } else {
+            self.attempts.lock().insert(salt, attempt);
+        }
     }
 
     fn injected_fault(&self, salt: u64) -> Option<FaultKind> {
@@ -452,6 +556,52 @@ mod tests {
         let labels = llm.label_batch(&c, None, &rows);
         assert!(labels[0], "missing value should be flagged heuristically");
         assert!(!labels[1], "clean value should pass");
+    }
+
+    #[test]
+    fn mangling_corrupts_responses_and_reasks_redraw() {
+        let (table, mask) = fixture();
+        let llm = SimLlm::default_model(9)
+            .with_oracle(mask)
+            .with_mangling(MangleSchedule::uniform(7, 1.0));
+        let corr = vec![0usize];
+        let rows: Vec<usize> = (0..10).collect();
+        let c = ctx(&table, 1, &corr, &rows);
+        // rate 1.0: the first ask is always corrupted, and the arity contract
+        // of a labelling response is always broken by every mangle kind.
+        let labels = llm.label_batch(&c, None, &rows);
+        assert_ne!(labels.len(), rows.len());
+        assert_eq!(llm.mangled_responses(), 1);
+        // A re-ask redraws at attempt 1 and is charged on the re-ask line;
+        // it does not count as a fresh first-ask corruption.
+        let salt = llm.request_salt(&table, Some(1), &rows);
+        llm.note_reask(salt, 1);
+        let again = llm.label_batch(&c, None, &rows);
+        assert_ne!(again.len(), rows.len(), "rate 1.0 mangles re-asks too");
+        assert_eq!(llm.mangled_responses(), 1);
+        assert_eq!(llm.ledger().reask_usage().requests, 1);
+        llm.note_reask(salt, 0);
+        // Degenerate responses with nothing to corrupt are never counted.
+        let before = llm.mangled_responses();
+        let empty = llm.augment_errors(&c, &[], 5);
+        assert!(empty.is_empty());
+        assert_eq!(llm.mangled_responses(), before);
+        // A healthy schedule never corrupts anything.
+        let healthy = SimLlm::default_model(9).with_mangling(MangleSchedule::healthy(7));
+        let ok = healthy.label_batch(&c, None, &rows);
+        assert_eq!(ok.len(), rows.len());
+        assert_eq!(healthy.mangled_responses(), 0);
+    }
+
+    #[test]
+    fn request_salt_distinguishes_columns_without_rows() {
+        let (table, mask) = fixture();
+        let llm = SimLlm::default_model(9).with_oracle(mask);
+        // The refine/augment requests pass no rows; the salt must still
+        // depend on the column so per-attribute requests stay distinct.
+        let a = llm.request_salt(&table, Some(0), &[]);
+        let b = llm.request_salt(&table, Some(1), &[]);
+        assert_ne!(a, b);
     }
 
     #[test]

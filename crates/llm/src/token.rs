@@ -42,6 +42,11 @@ impl TokenUsage {
 #[derive(Debug, Default, Clone)]
 pub struct TokenLedger {
     inner: Arc<Mutex<TokenUsage>>,
+    /// The share of [`TokenLedger::usage`] spent on repair-layer re-asks
+    /// (second issues of a request whose first response came back mangled).
+    /// Kept as a distinct line so degradation cost is auditable: re-ask
+    /// tokens are *included* in the main usage and mirrored here.
+    reask: Arc<Mutex<TokenUsage>>,
     /// Total simulated model latency across all recorded calls. Tracked
     /// separately from [`TokenUsage`] because it is a *cost model* output
     /// (sum of per-call latencies, independent of scheduling), not something
@@ -71,6 +76,28 @@ impl TokenLedger {
         usage.requests += 1;
     }
 
+    /// Records one *re-ask* request given pre-computed token counts: the
+    /// counts land in the main usage (a re-ask is a real request) and are
+    /// mirrored into the distinct re-ask line.
+    pub fn record_reask_counts(&self, input_tokens: usize, output_tokens: usize) {
+        {
+            let mut usage = self.inner.lock();
+            usage.input_tokens += input_tokens;
+            usage.output_tokens += output_tokens;
+            usage.requests += 1;
+        }
+        let mut reask = self.reask.lock();
+        reask.input_tokens += input_tokens;
+        reask.output_tokens += output_tokens;
+        reask.requests += 1;
+    }
+
+    /// The re-ask share of the ledger (already included in
+    /// [`TokenLedger::usage`]).
+    pub fn reask_usage(&self) -> TokenUsage {
+        *self.reask.lock()
+    }
+
     /// Adds one call's simulated model latency (see [`TokenLedger::sim_cost`]).
     pub fn record_sim_cost(&self, cost: std::time::Duration) {
         *self.sim_cost.lock() += cost;
@@ -91,6 +118,7 @@ impl TokenLedger {
     /// Resets the ledger to zero.
     pub fn reset(&self) {
         *self.inner.lock() = TokenUsage::default();
+        *self.reask.lock() = TokenUsage::default();
         *self.sim_cost.lock() = std::time::Duration::ZERO;
     }
 }
@@ -129,6 +157,23 @@ mod tests {
         let clone = ledger.clone();
         clone.record_counts(5, 5);
         assert_eq!(ledger.usage().requests, 1);
+    }
+
+    #[test]
+    fn reask_line_is_included_in_usage_and_mirrored() {
+        let ledger = TokenLedger::new();
+        ledger.record_counts(10, 20);
+        ledger.record_reask_counts(3, 4);
+        let usage = ledger.usage();
+        assert_eq!(usage.requests, 2);
+        assert_eq!(usage.input_tokens, 13);
+        assert_eq!(usage.output_tokens, 24);
+        let reask = ledger.reask_usage();
+        assert_eq!(reask.requests, 1);
+        assert_eq!(reask.input_tokens, 3);
+        assert_eq!(reask.output_tokens, 4);
+        ledger.reset();
+        assert_eq!(ledger.reask_usage(), TokenUsage::default());
     }
 
     #[test]

@@ -373,6 +373,10 @@ impl LlmClient for CachedLlm<'_> {
         self.inner.request_salt(table, column, rows)
     }
 
+    fn note_reask(&self, salt: u64, attempt: u32) {
+        self.inner.note_reask(salt, attempt);
+    }
+
     fn cache_identity(&self) -> &str {
         self.inner.cache_identity()
     }

@@ -872,6 +872,15 @@ impl LlmClient for RouterLlm<'_> {
         self.backends[0].client.request_salt(table, column, rows)
     }
 
+    fn note_reask(&self, salt: u64, attempt: u32) {
+        // A re-asked request may be routed (or hedged) to *any* backend, so
+        // the attempt mark must be visible on all of them — response
+        // equivalence requires every backend to redraw the same corruption.
+        for backend in &self.backends {
+            backend.client.note_reask(salt, attempt);
+        }
+    }
+
     fn cache_identity(&self) -> &str {
         // The router's *responses* are its backends' responses (the
         // response-equivalence contract), so cache keys — and persisted store
