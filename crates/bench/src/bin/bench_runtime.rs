@@ -48,18 +48,33 @@
 //! LLM requests. The section reports per-stage counters, the re-ask ledger
 //! line, and the LLM-stage overhead versus a healthy run.
 //!
+//! `--shapes` adds the workload-shape sweep: the three synthetic shapes from
+//! `zeroed_datagen::WORKLOADS` (wide, high-distinct, mixed-schema), each run
+//! sequential vs concurrent+cache with a per-shape `stage_breakdown`, so
+//! scaling work can see which stage dominates under which table shape.
+//!
+//! Every detection run carries a hierarchical stage profile
+//! (`PipelineStats::stage_profile`, built by `zeroed-obs`). The emitter
+//! asserts the accounting invariant on **every** run — including `--quick` —
+//! before writing the ledger: sequential child spans sum to at most their
+//! parent's wall, top-level stages cover ≥90% of the run's total wall (no
+//! untracked time silently appearing), and the estimated profiler overhead
+//! stays under 2% of the run. Each dataset block embeds the cold cached
+//! run's tree as `stage_breakdown`.
+//!
 //! ```text
-//! cargo run --release -p zeroed-bench --bin bench_runtime -- --router --persist --mangle
+//! cargo run --release -p zeroed-bench --bin bench_runtime -- --router --persist --mangle --shapes
 //! ```
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use zeroed_core::{
     DetectionOutcome, RouterConfig, RouterLlm, RuntimeConfig, StageRepair, StoreConfig, ZeroEd,
     ZeroEdConfig,
 };
 use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
 use zeroed_llm::{FaultSchedule, LlmClient, LlmProfile, MangleSchedule, SimLlm};
+use zeroed_obs::{Profiler, StageProfile};
 
 const LATENCY_SCALE: f64 = 1.0;
 
@@ -134,6 +149,60 @@ fn mode_json(r: &ModeResult) -> String {
 fn json_mode(json: &mut String, r: &ModeResult, last: bool) {
     let _ = write!(json, "      {}", mode_json(r));
     json.push_str(if last { "\n" } else { ",\n" });
+}
+
+/// The stage profile a detection run must carry (only the degenerate
+/// empty-table early return omits it).
+fn profile_of(r: &ModeResult) -> &StageProfile {
+    r.outcome
+        .stats
+        .stage_profile
+        .as_ref()
+        .expect("a benchmark run must carry a stage profile")
+}
+
+/// The accounting invariant, asserted on every run including `--quick`:
+/// sequential child spans sum to at most their parent's wall, and the
+/// top-level stages cover at least 90% of the run's total wall — untracked
+/// time cannot silently appear.
+fn assert_profile(dataset: &str, r: &ModeResult) {
+    let p = profile_of(r);
+    assert!(
+        p.accounting_ok(),
+        "{dataset}/{}: child spans overflow their parent\n{}",
+        r.label,
+        p.render_table()
+    );
+    let coverage = p.coverage();
+    assert!(
+        coverage >= 0.90,
+        "{dataset}/{}: top-level stages cover only {:.1}% of total wall\n{}",
+        r.label,
+        coverage * 100.0,
+        p.render_table()
+    );
+}
+
+/// Spans recorded across the whole tree (the profiler work this run paid
+/// for).
+fn profile_records(p: &StageProfile) -> u64 {
+    p.count + p.children.iter().map(profile_records).sum::<u64>()
+}
+
+/// Estimated profiler overhead as a percentage of the run's wall time:
+/// a micro-measured per-record span cost scaled by the number of spans the
+/// run actually recorded. Asserted < 2% on every run.
+fn profiler_overhead_pct(r: &ModeResult) -> f64 {
+    const SAMPLES: u64 = 50_000;
+    let probe = Profiler::new("overhead-probe");
+    let span = probe.root().child_dist("record");
+    let t = Instant::now();
+    for i in 0..SAMPLES {
+        span.record(Duration::from_nanos(i));
+    }
+    let per_record = t.elapsed().as_secs_f64() / SAMPLES as f64;
+    let records = profile_records(profile_of(r));
+    per_record * records as f64 / (r.total_ms / 1e3).max(1e-9) * 100.0
 }
 
 /// One arm of the router experiment.
@@ -637,6 +706,68 @@ fn mangle_section(rows: usize, workers: usize) -> String {
     block
 }
 
+/// The `--shapes` sweep: the three synthetic workload shapes
+/// (`zeroed_datagen::WORKLOADS`), each run sequential vs concurrent+cache
+/// with mask identity asserted and the cold run's stage breakdown recorded.
+/// Capped at 10k rows — the shapes stress column count and value
+/// distributions, not row volume.
+fn shapes_section(rows: usize, workers: usize) -> String {
+    let rows = rows.min(10_000).max(1);
+    let cached = RuntimeConfig {
+        workers,
+        ..RuntimeConfig::default()
+    };
+    let mut blocks = Vec::new();
+    for spec in DatasetSpec::WORKLOADS {
+        let name = spec.name().to_ascii_lowercase();
+        eprintln!("workload shape {name} @ {rows} rows ...");
+        let ds = generate(
+            spec,
+            &GenerateOptions {
+                n_rows: rows,
+                seed: 7,
+                error_spec: None,
+            },
+        );
+        let config = ZeroEdConfig::fast();
+        let seq_detector = ZeroEd::new(config.clone().sequential_runtime());
+        let seq = run_mode("sequential", &seq_detector, &ds, 1);
+        let cold_detector = ZeroEd::new(config.with_runtime(cached.clone()));
+        let cold = run_mode("concurrent_cached_cold", &cold_detector, &ds, 1);
+        assert_eq!(
+            seq.outcome.mask, cold.outcome.mask,
+            "{name}: shape mask diverged from the sequential oracle"
+        );
+        assert_profile(&name, &seq);
+        assert_profile(&name, &cold);
+        let overhead = profiler_overhead_pct(&cold);
+        assert!(overhead < 2.0, "{name}: profiler overhead {overhead:.3}% >= 2%");
+        eprintln!(
+            "  {name}: seq llm-stage {:.0} ms | cached cold {:.0} ms | coverage {:.1}% | overhead {overhead:.3}%",
+            seq.llm_stage_ms,
+            cold.llm_stage_ms,
+            profile_of(&cold).coverage() * 100.0,
+        );
+        let mut block = String::new();
+        let _ = writeln!(
+            block,
+            "    {{\"dataset\": \"{name}\", \"rows\": {}, \"cols\": {}, \"workers\": {workers},",
+            ds.dirty.n_rows(),
+            ds.dirty.n_cols(),
+        );
+        let _ = writeln!(
+            block,
+            "     \"masks_identical\": true, \"profiler_overhead_pct\": {overhead:.3}, \"modes\": ["
+        );
+        json_mode(&mut block, &seq, false);
+        json_mode(&mut block, &cold, true);
+        let _ = writeln!(block, "     ],");
+        let _ = write!(block, "     \"stage_breakdown\": {}}}", profile_of(&cold).to_json());
+        blocks.push(block);
+    }
+    blocks.join(",\n")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_runtime.json".to_string();
@@ -645,6 +776,7 @@ fn main() {
     let mut router = false;
     let mut persist = false;
     let mut mangle = false;
+    let mut shapes = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -670,6 +802,7 @@ fn main() {
             "--router" => router = true,
             "--persist" => persist = true,
             "--mangle" => mangle = true,
+            "--shapes" => shapes = true,
             _ => {}
         }
         i += 1;
@@ -723,6 +856,15 @@ fn main() {
         assert_eq!(seq.outcome.mask, warm.outcome.mask, "{name}: warm mask diverged");
         assert_eq!(warm.requests, 0, "{name}: warm run must not call the model");
 
+        // Every mode's stage profile must reconcile (child sums ≤ parent,
+        // ≥90% of wall covered) and the profiler must stay under 2% of the
+        // run — on --quick too, so tier-1 guards the invariant.
+        for r in [&seq, &conc, &cold, &warm] {
+            assert_profile(name, r);
+        }
+        let overhead = profiler_overhead_pct(&cold);
+        assert!(overhead < 2.0, "{name}: profiler overhead {overhead:.3}% >= 2%");
+
         let speedup_concurrent = seq.llm_stage_ms / conc.llm_stage_ms.max(1e-9);
         let speedup_cached = seq.llm_stage_ms / cold.llm_stage_ms.max(1e-9);
         let speedup_warm = seq.llm_stage_ms / warm.llm_stage_ms.max(1e-9);
@@ -762,7 +904,15 @@ fn main() {
         json_mode(&mut block, &conc, false);
         json_mode(&mut block, &cold, false);
         json_mode(&mut block, &warm, true);
-        block.push_str("    ]}");
+        block.push_str("    ],\n");
+        let _ = writeln!(block, "     \"profiler_overhead_pct\": {overhead:.3},");
+        // The cold cached run's tree: the representative configuration (the
+        // default mode) paying full LLM + featurisation cost.
+        let _ = write!(
+            block,
+            "     \"stage_breakdown\": {}}}",
+            profile_of(&cold).to_json()
+        );
         blocks.push(block);
     }
 
@@ -772,9 +922,14 @@ fn main() {
         json,
         "  \"generated_by\": \"cargo run --release -p zeroed-bench --bin bench_runtime\",",
     );
+    // Host metadata: physical parallelism (std::thread::available_parallelism)
+    // alongside the configured worker budget. The pool size is a request-
+    // concurrency budget against a serving backend, not a core count —
+    // simulated LLM sleeps overlap regardless of cores — so both numbers are
+    // needed to interpret speedups across machines.
     let _ = writeln!(
         json,
-        "  \"host_cores\": {},",
+        "  \"host\": {{\"available_parallelism\": {}, \"worker_budget\": {workers}}},",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     );
     let _ = writeln!(
@@ -788,6 +943,11 @@ fn main() {
     json.push_str("  \"runs\": [\n");
     json.push_str(&blocks.join(",\n"));
     json.push_str("\n  ]");
+    if shapes {
+        json.push_str(",\n  \"shapes\": [\n");
+        json.push_str(&shapes_section(rows, workers));
+        json.push_str("\n  ]");
+    }
     if router {
         json.push_str(",\n  \"router\": {\n");
         json.push_str(&router_section(rows, workers));

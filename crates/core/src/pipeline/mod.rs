@@ -35,11 +35,22 @@ pub mod training_data;
 use crate::config::ZeroEdConfig;
 use crate::report::{DetectionOutcome, PipelineStats, StepTimings};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use zeroed_features::{FeatureBuilder, FeatureConfig};
 use zeroed_llm::{AttributeContext, LlmClient};
+use zeroed_obs::{Profiler, StageProfile};
 use zeroed_runtime::{CachedLlm, ExecMode, ResponseCache, RouterLlm, Scheduler, StoreLayer};
 use zeroed_table::{ErrorMask, Table};
+
+/// A parallel leaf node for a grafted maintenance timing (store opens,
+/// fsyncs, compactions): its total is wall time spent off the critical
+/// path or on another thread, so it must not count against the parent's
+/// sequential accounting.
+fn parallel_leaf(name: &str, nanos: u64, count: u64) -> StageProfile {
+    let mut leaf = StageProfile::leaf(name, Duration::from_nanos(nanos), count);
+    leaf.parallel = true;
+    leaf
+}
 
 /// The ZeroED error detector.
 ///
@@ -132,9 +143,16 @@ impl ZeroEd {
     /// client, persisted stores always hold repaired responses and warm
     /// starts replay them bit-identically with zero requests.
     pub fn detect(&self, dirty: &Table, llm: &dyn LlmClient) -> DetectionOutcome {
-        let repairing = repair::RepairLlm::new(llm, self.config.reask_budget);
+        // One profiler per run: the five pipeline steps record sequential
+        // stage spans under the root, while the repair ladder, the
+        // scheduler, the response cache and the store graft *parallel*
+        // distribution nodes (their totals are CPU time across workers or
+        // cache-lifetime sums, not coordinating-thread wall time).
+        let profiler = Profiler::new("detect");
+        let repairing = repair::RepairLlm::new(llm, self.config.reask_budget)
+            .with_span(profiler.root().child_parallel("repair"));
         let mut outcome = match self.config.runtime.mode {
-            ExecMode::Sequential => self.detect_sequential(dirty, &repairing),
+            ExecMode::Sequential => self.detect_sequential(dirty, &repairing, &profiler),
             ExecMode::Concurrent if self.config.runtime.cache => {
                 let mut cached =
                     CachedLlm::for_table(&repairing, Arc::clone(&self.cache), dirty);
@@ -145,7 +163,7 @@ impl ZeroEd {
                 if let Some(sink) = &sink {
                     cached = cached.with_persistence(sink.clone());
                 }
-                let mut outcome = self.detect_concurrent(dirty, &cached);
+                let mut outcome = self.detect_concurrent(dirty, &cached, &profiler);
                 // Per-adapter counters, not a delta of the shared cache's
                 // global stats: clones of this detector share the cache and
                 // may detect concurrently, and their activity must not leak
@@ -178,9 +196,56 @@ impl ZeroEd {
                 }
                 outcome
             }
-            ExecMode::Concurrent => self.detect_concurrent(dirty, &repairing),
+            ExecMode::Concurrent => self.detect_concurrent(dirty, &repairing, &profiler),
         };
         outcome.stats.repair = repairing.counters();
+        if let Some(profile) = outcome.stats.stage_profile.as_mut() {
+            // Graft the response-cache and store distributions. Both live
+            // longer than one run (clones share the cache; the store is
+            // opened at construction), so their totals are lifetime sums —
+            // flagged parallel, they never count against run accounting.
+            let ct = self.cache.timings();
+            let mut cache_node = StageProfile::new("llm_cache");
+            cache_node.parallel = true;
+            cache_node.count = ct.lock_hold.count;
+            cache_node.wall_nanos =
+                ct.lock_hold.total_nanos + ct.park_wait.total_nanos + ct.preload.total_nanos;
+            cache_node.children.push(ct.lock_hold.to_stage("lock_hold"));
+            cache_node.children.push(ct.park_wait.to_stage("park_wait"));
+            cache_node.children.push(ct.preload.to_stage("preload"));
+            profile.children.push(cache_node);
+            if let Some(layer) = &self.store {
+                let lt = layer.timings();
+                let ss = layer.store_stats();
+                let mut store_node = StageProfile::new("store");
+                store_node.parallel = true;
+                store_node.wall_nanos = lt.open_nanos
+                    + lt.preload_nanos
+                    + ss.fsync_nanos
+                    + ss.compaction_nanos
+                    + ss.gc_nanos;
+                store_node.children.push(parallel_leaf("open", lt.open_nanos, 1));
+                store_node.children.push(parallel_leaf(
+                    "preload",
+                    lt.preload_nanos,
+                    u64::from(lt.preload_nanos > 0),
+                ));
+                store_node
+                    .children
+                    .push(parallel_leaf("fsync", ss.fsync_nanos, ss.fsyncs));
+                store_node.children.push(parallel_leaf(
+                    "compaction",
+                    ss.compaction_nanos,
+                    ss.compactions,
+                ));
+                store_node.children.push(parallel_leaf(
+                    "gc",
+                    ss.gc_nanos,
+                    u64::from(ss.gc_nanos > 0),
+                ));
+                profile.children.push(store_node);
+            }
+        }
         outcome
     }
 
@@ -218,7 +283,12 @@ impl ZeroEd {
     }
 
     /// The concurrent path: per-attribute fan-out on the scheduler.
-    fn detect_concurrent(&self, dirty: &Table, llm: &dyn LlmClient) -> DetectionOutcome {
+    fn detect_concurrent(
+        &self,
+        dirty: &Table,
+        llm: &dyn LlmClient,
+        profiler: &Profiler,
+    ) -> DetectionOutcome {
         let config = &self.config;
         let n_rows = dirty.n_rows();
         let n_cols = dirty.n_cols();
@@ -233,54 +303,75 @@ impl ZeroEd {
             };
         }
 
+        let root = profiler.root();
+        let t_run = Instant::now();
         let scheduler = Scheduler::from_config(&config.runtime);
 
         // ------------------------------------------------------------------
         // Step 1 — feature representation with criteria reasoning (§III-B).
         // ------------------------------------------------------------------
         let t0 = Instant::now();
-        let dict = Arc::new(dirty.intern());
-        let correlated = features::compute_correlated_dict(&dict, config);
-        let criteria = features::generate_criteria_on(&scheduler, dirty, &correlated, config, llm);
-        let extra = features::criteria_extra_on(&scheduler, &criteria, dirty);
+        let step = root.child("features");
+        let dict = step.child("intern").time(|| Arc::new(dirty.intern()));
+        let correlated = step
+            .child("correlated_nmi")
+            .time(|| features::compute_correlated_dict(&dict, config));
+        let criteria = step
+            .child("criteria_llm")
+            .time(|| features::generate_criteria_on(&scheduler, dirty, &correlated, config, llm));
+        let extra = step
+            .child("criteria_features")
+            .time(|| features::criteria_extra_on(&scheduler, &criteria, dirty));
         let feature_config = FeatureConfig {
             embed_dim: config.embed_dim,
             top_k_corr: config.effective_top_k(),
             ..FeatureConfig::default()
         };
         let builder = FeatureBuilder::new(feature_config);
-        let fitted = builder.fit_prepared(dirty, dict, correlated.clone(), &extra);
-        let feats = fitted.build_all();
+        let fitted = step
+            .child("fit")
+            .time(|| builder.fit_prepared(dirty, dict, correlated.clone(), &extra));
+        let feats = step.child("build_matrices").time(|| fitted.build_all());
         timings.features = t0.elapsed();
+        step.record(timings.features);
 
         // ------------------------------------------------------------------
         // Step 2 — representative sampling (§III-C).
         // ------------------------------------------------------------------
         let t1 = Instant::now();
+        let step = root.child("sampling");
+        let per_col = step.child_dist("sample_column");
         let samplings: Vec<sampling::ColumnSampling> = scheduler.run(n_cols, |j| {
-            sampling::sample_column(
-                &feats.unified[j],
-                config.clusters_for(n_rows),
-                config.sampling.into(),
-                config.seed.wrapping_add(j as u64),
-                config.max_cluster_rows,
-            )
+            per_col.time(|| {
+                sampling::sample_column(
+                    &feats.unified[j],
+                    config.clusters_for(n_rows),
+                    config.sampling.into(),
+                    config.seed.wrapping_add(j as u64),
+                    config.max_cluster_rows,
+                )
+            })
         });
         timings.sampling = t1.elapsed();
+        step.record(timings.sampling);
 
         // ------------------------------------------------------------------
         // Step 3 — holistic LLM labelling (§III-C). One task per attribute:
         // analysis → guideline → label batches, ordered within the task.
         // ------------------------------------------------------------------
         let t2 = Instant::now();
+        let step = root.child("labeling");
+        let per_col = step.child_dist("label_attribute");
         let label_outcomes: Vec<labeling::LabelOutcome> = scheduler.run(n_cols, |j| {
-            let ctx = AttributeContext {
-                table: dirty,
-                column: j,
-                correlated: &correlated[j],
-                sample_rows: &samplings[j].representatives,
-            };
-            labeling::label_representatives(&ctx, config, llm, &samplings[j].representatives)
+            per_col.time(|| {
+                let ctx = AttributeContext {
+                    table: dirty,
+                    column: j,
+                    correlated: &correlated[j],
+                    sample_rows: &samplings[j].representatives,
+                };
+                labeling::label_representatives(&ctx, config, llm, &samplings[j].representatives)
+            })
         });
         for outcome in &label_outcomes {
             stats.llm_labeled_cells += outcome.labels.len();
@@ -288,27 +379,32 @@ impl ZeroEd {
             stats.label_defaulted_cells += outcome.defaulted_cells;
         }
         timings.labeling = t2.elapsed();
+        step.record(timings.labeling);
 
         // ------------------------------------------------------------------
         // Step 4 — training-data construction (Algorithm 1). One task per
         // attribute: propagation → refinement → verification → augmentation.
         // ------------------------------------------------------------------
         let t3 = Instant::now();
+        let step = root.child("training_data");
+        let per_col = step.child_dist("construct_attribute");
         let training: Vec<training_data::ColumnTrainingData> = scheduler.run(n_cols, |j| {
-            let ctx = AttributeContext {
-                table: dirty,
-                column: j,
-                correlated: &correlated[j],
-                sample_rows: &samplings[j].representatives,
-            };
-            training_data::construct(
-                &ctx,
-                config,
-                llm,
-                &samplings[j],
-                &label_outcomes[j].labels,
-                criteria[j].clone(),
-            )
+            per_col.time(|| {
+                let ctx = AttributeContext {
+                    table: dirty,
+                    column: j,
+                    correlated: &correlated[j],
+                    sample_rows: &samplings[j].representatives,
+                };
+                training_data::construct(
+                    &ctx,
+                    config,
+                    llm,
+                    &samplings[j],
+                    &label_outcomes[j].labels,
+                    criteria[j].clone(),
+                )
+            })
         });
         for data in &training {
             stats.propagated_cells += data.propagated_cells;
@@ -321,14 +417,26 @@ impl ZeroEd {
             .filter_map(|d| d.criteria.as_ref().map(|c| c.len()))
             .sum();
         timings.training_data = t3.elapsed();
+        step.record(timings.training_data);
 
         // ------------------------------------------------------------------
         // Step 5 — detector training and prediction (§III-D).
         // ------------------------------------------------------------------
         let t4 = Instant::now();
+        let step = root.child("detector");
+        let per_col = step.child_dist("train_predict");
         let mut mask = ErrorMask::for_table(dirty);
         let predictions: Vec<Vec<bool>> = scheduler.run(n_cols, |j| {
-            detector::train_and_predict(dirty, j, &fitted, &feats.unified[j], &training[j], config)
+            per_col.time(|| {
+                detector::train_and_predict(
+                    dirty,
+                    j,
+                    &fitted,
+                    &feats.unified[j],
+                    &training[j],
+                    config,
+                )
+            })
         });
         for (j, column_pred) in predictions.iter().enumerate() {
             for (i, &flag) in column_pred.iter().enumerate() {
@@ -338,10 +446,26 @@ impl ZeroEd {
             }
         }
         timings.detector = t4.elapsed();
+        step.record(timings.detector);
 
         let sched_stats = scheduler.stats();
         stats.runtime_tasks = sched_stats.tasks as usize;
         stats.runtime_retries = sched_stats.retries as usize;
+
+        root.record(t_run.elapsed());
+        let mut profile = profiler.snapshot();
+        // Graft the scheduler's per-task distributions: queue wait (submit →
+        // pickup) and execute (task body) across all five fan-outs. CPU time
+        // summed over workers, so the node is parallel.
+        let st = scheduler.timings();
+        let mut runtime_node = StageProfile::new("runtime");
+        runtime_node.parallel = true;
+        runtime_node.count = st.execute.count;
+        runtime_node.wall_nanos = st.queue_wait.total_nanos + st.execute.total_nanos;
+        runtime_node.children.push(st.queue_wait.to_stage("queue_wait"));
+        runtime_node.children.push(st.execute.to_stage("execute"));
+        profile.children.push(runtime_node);
+        stats.stage_profile = Some(profile);
 
         DetectionOutcome {
             mask,
@@ -351,8 +475,16 @@ impl ZeroEd {
     }
 
     /// The sequential oracle path: the seed behaviour, plain loops on the
-    /// calling thread, no scheduler, no cache.
-    fn detect_sequential(&self, dirty: &Table, llm: &dyn LlmClient) -> DetectionOutcome {
+    /// calling thread, no scheduler, no cache. Stage spans mirror the
+    /// concurrent path's names so breakdowns compare across modes (the
+    /// per-attribute distribution nodes stay flagged parallel for symmetry
+    /// even though this path runs them on the calling thread).
+    fn detect_sequential(
+        &self,
+        dirty: &Table,
+        llm: &dyn LlmClient,
+        profiler: &Profiler,
+    ) -> DetectionOutcome {
         let config = &self.config;
         let n_rows = dirty.n_rows();
         let n_cols = dirty.n_cols();
@@ -367,16 +499,26 @@ impl ZeroEd {
             };
         }
 
+        let root = profiler.root();
+        let t_run = Instant::now();
+
         // ------------------------------------------------------------------
         // Step 1 — feature representation with criteria reasoning (§III-B).
         // ------------------------------------------------------------------
         let t0 = Instant::now();
+        let step = root.child("features");
         // Intern the table once; the dictionary is shared by correlated-
         // attribute selection, the frequency model and the feature caches.
-        let dict = Arc::new(dirty.intern());
-        let correlated = features::compute_correlated_dict(&dict, config);
-        let criteria = features::generate_criteria(dirty, &correlated, config, llm);
-        let extra = features::criteria_extra(&criteria, dirty);
+        let dict = step.child("intern").time(|| Arc::new(dirty.intern()));
+        let correlated = step
+            .child("correlated_nmi")
+            .time(|| features::compute_correlated_dict(&dict, config));
+        let criteria = step
+            .child("criteria_llm")
+            .time(|| features::generate_criteria(dirty, &correlated, config, llm));
+        let extra = step
+            .child("criteria_features")
+            .time(|| features::criteria_extra(&criteria, dirty));
         let feature_config = FeatureConfig {
             embed_dim: config.embed_dim,
             top_k_corr: config.effective_top_k(),
@@ -385,31 +527,41 @@ impl ZeroEd {
         let builder = FeatureBuilder::new(feature_config);
         // Reuse the correlated attributes computed above (the same lists the
         // LLM prompt contexts describe) — the NMI sweep runs exactly once.
-        let fitted = builder.fit_prepared(dirty, dict, correlated.clone(), &extra);
-        let feats = fitted.build_all();
+        let fitted = step
+            .child("fit")
+            .time(|| builder.fit_prepared(dirty, dict, correlated.clone(), &extra));
+        let feats = step.child("build_matrices").time(|| fitted.build_all());
         timings.features = t0.elapsed();
+        step.record(timings.features);
 
         // ------------------------------------------------------------------
         // Step 2 — representative sampling (§III-C).
         // ------------------------------------------------------------------
         let t1 = Instant::now();
+        let step = root.child("sampling");
+        let per_col = step.child_dist("sample_column");
         let samplings: Vec<sampling::ColumnSampling> = (0..n_cols)
             .map(|j| {
-                sampling::sample_column(
-                    &feats.unified[j],
-                    config.clusters_for(n_rows),
-                    config.sampling.into(),
-                    config.seed.wrapping_add(j as u64),
-                    config.max_cluster_rows,
-                )
+                per_col.time(|| {
+                    sampling::sample_column(
+                        &feats.unified[j],
+                        config.clusters_for(n_rows),
+                        config.sampling.into(),
+                        config.seed.wrapping_add(j as u64),
+                        config.max_cluster_rows,
+                    )
+                })
             })
             .collect();
         timings.sampling = t1.elapsed();
+        step.record(timings.sampling);
 
         // ------------------------------------------------------------------
         // Step 3 — holistic LLM labelling (§III-C).
         // ------------------------------------------------------------------
         let t2 = Instant::now();
+        let step = root.child("labeling");
+        let per_col = step.child_dist("label_attribute");
         let mut label_outcomes = Vec::with_capacity(n_cols);
         for j in 0..n_cols {
             let ctx = AttributeContext {
@@ -418,23 +570,23 @@ impl ZeroEd {
                 correlated: &correlated[j],
                 sample_rows: &samplings[j].representatives,
             };
-            let outcome = labeling::label_representatives(
-                &ctx,
-                config,
-                llm,
-                &samplings[j].representatives,
-            );
+            let outcome = per_col.time(|| {
+                labeling::label_representatives(&ctx, config, llm, &samplings[j].representatives)
+            });
             stats.llm_labeled_cells += outcome.labels.len();
             stats.label_fallback_cells += outcome.fallback_cells;
             stats.label_defaulted_cells += outcome.defaulted_cells;
             label_outcomes.push(outcome);
         }
         timings.labeling = t2.elapsed();
+        step.record(timings.labeling);
 
         // ------------------------------------------------------------------
         // Step 4 — training-data construction (Algorithm 1).
         // ------------------------------------------------------------------
         let t3 = Instant::now();
+        let step = root.child("training_data");
+        let per_col = step.child_dist("construct_attribute");
         let mut training: Vec<training_data::ColumnTrainingData> = Vec::with_capacity(n_cols);
         for j in 0..n_cols {
             let ctx = AttributeContext {
@@ -443,14 +595,16 @@ impl ZeroEd {
                 correlated: &correlated[j],
                 sample_rows: &samplings[j].representatives,
             };
-            let data = training_data::construct(
-                &ctx,
-                config,
-                llm,
-                &samplings[j],
-                &label_outcomes[j].labels,
-                criteria[j].clone(),
-            );
+            let data = per_col.time(|| {
+                training_data::construct(
+                    &ctx,
+                    config,
+                    llm,
+                    &samplings[j],
+                    &label_outcomes[j].labels,
+                    criteria[j].clone(),
+                )
+            });
             stats.propagated_cells += data.propagated_cells;
             stats.verified_clean_rows += data.clean_rows.len();
             stats.error_rows += data.error_rows.len();
@@ -462,22 +616,27 @@ impl ZeroEd {
             .filter_map(|d| d.criteria.as_ref().map(|c| c.len()))
             .sum();
         timings.training_data = t3.elapsed();
+        step.record(timings.training_data);
 
         // ------------------------------------------------------------------
         // Step 5 — detector training and prediction (§III-D).
         // ------------------------------------------------------------------
         let t4 = Instant::now();
+        let step = root.child("detector");
+        let per_col = step.child_dist("train_predict");
         let mut mask = ErrorMask::for_table(dirty);
         let predictions: Vec<Vec<bool>> = (0..n_cols)
             .map(|j| {
-                detector::train_and_predict(
-                    dirty,
-                    j,
-                    &fitted,
-                    &feats.unified[j],
-                    &training[j],
-                    config,
-                )
+                per_col.time(|| {
+                    detector::train_and_predict(
+                        dirty,
+                        j,
+                        &fitted,
+                        &feats.unified[j],
+                        &training[j],
+                        config,
+                    )
+                })
             })
             .collect();
         for (j, column_pred) in predictions.iter().enumerate() {
@@ -488,6 +647,10 @@ impl ZeroEd {
             }
         }
         timings.detector = t4.elapsed();
+        step.record(timings.detector);
+
+        root.record(t_run.elapsed());
+        stats.stage_profile = Some(profiler.snapshot());
 
         DetectionOutcome {
             mask,
@@ -542,6 +705,48 @@ mod tests {
         assert!(outcome.stats.llm_labeled_cells < ds.dirty.n_cells() / 2);
         // The default path went through the scheduler.
         assert!(outcome.stats.runtime_tasks > 0);
+    }
+
+    #[test]
+    fn stage_profile_accounts_for_the_run() {
+        let ds = small_dataset();
+        let llm = SimLlm::default_model(9).with_oracle(ds.mask.clone());
+        let config = ZeroEdConfig {
+            label_rate: 0.08,
+            ..ZeroEdConfig::fast()
+        };
+        let outcome = ZeroEd::new(config.clone()).detect(&ds.dirty, &llm);
+        let profile = outcome
+            .stats
+            .stage_profile
+            .as_ref()
+            .expect("a non-empty run must carry a stage profile");
+        assert!(profile.accounting_ok(), "\n{}", profile.render_table());
+        assert!(
+            profile.coverage() >= 0.9,
+            "top-level stages cover {:.3} of root wall\n{}",
+            profile.coverage(),
+            profile.render_table()
+        );
+        for name in ["features", "sampling", "labeling", "training_data", "detector"] {
+            assert!(profile.child(name).is_some(), "missing stage {name}");
+        }
+        assert!(profile.find("features/criteria_llm").is_some());
+        let execute = profile.find("runtime/execute").expect("scheduler node");
+        assert!(execute.parallel && execute.count > 0);
+        // Every stage response passes through the ladder's validate step.
+        let validate = profile.find("repair/validate").expect("repair node");
+        assert!(validate.count > 0);
+        let cache = profile.find("llm_cache/lock_hold").expect("cache node");
+        assert!(cache.parallel);
+
+        // The sequential oracle profiles the same stage names.
+        let seq = ZeroEd::new(config.sequential_runtime()).detect(&ds.dirty, &llm);
+        let seq_profile = seq.stats.stage_profile.as_ref().unwrap();
+        assert!(seq_profile.accounting_ok());
+        assert!(seq_profile.coverage() >= 0.9);
+        assert!(seq_profile.find("labeling/label_attribute").is_some());
+        assert!(seq_profile.find("runtime").is_none(), "no scheduler node");
     }
 
     #[test]

@@ -141,6 +141,11 @@ pub struct RepairLlm<'a> {
     /// from failed salvage to the stage default.
     reask_budget: usize,
     counters: Mutex<RepairCounters>,
+    /// Optional profiling span; when set, `validate`/`salvage`/`reask`
+    /// ladder steps record their durations as parallel distribution children
+    /// (the ladder runs on scheduler workers, so step totals are CPU time
+    /// across threads, not coordinating-thread wall time).
+    span: Option<zeroed_obs::Span>,
 }
 
 impl std::fmt::Debug for RepairLlm<'_> {
@@ -160,12 +165,28 @@ impl<'a> RepairLlm<'a> {
             inner,
             reask_budget,
             counters: Mutex::new(RepairCounters::default()),
+            span: None,
         }
+    }
+
+    /// Attach a profiling span under which the ladder's `validate`,
+    /// `salvage` and `reask` steps record per-call durations.
+    pub fn with_span(mut self, span: zeroed_obs::Span) -> Self {
+        self.span = Some(span);
+        self
     }
 
     /// A snapshot of the per-stage repair counters.
     pub fn counters(&self) -> RepairCounters {
         *self.counters.lock().unwrap()
+    }
+
+    /// Time one ladder step into the attached span (no-op without one).
+    fn time_step<T>(&self, step: &str, f: impl FnOnce() -> T) -> T {
+        match &self.span {
+            Some(span) => span.child_dist(step).time(f),
+            None => f(),
+        }
     }
 
     fn bump(
@@ -193,11 +214,11 @@ impl<'a> RepairLlm<'a> {
         default: impl FnOnce(T) -> T,
     ) -> T {
         let raw = fetch();
-        if validate(&raw) {
+        if self.time_step("validate", || validate(&raw)) {
             return raw;
         }
         self.bump(stage, |s| s.mangled += 1);
-        let mut best = match salvage(raw) {
+        let mut best = match self.time_step("salvage", || salvage(raw)) {
             Ok(fixed) => {
                 debug_assert!(validate(&fixed), "salvage must produce a valid value");
                 self.bump(stage, |s| s.repaired += 1);
@@ -206,14 +227,17 @@ impl<'a> RepairLlm<'a> {
             Err(raw) => raw,
         };
         for attempt in 1..=self.reask_budget as u32 {
-            self.inner.note_reask(salt, attempt);
-            let retry = fetch();
-            self.inner.note_reask(salt, 0);
-            if validate(&retry) {
+            let retry = self.time_step("reask", || {
+                self.inner.note_reask(salt, attempt);
+                let retry = fetch();
+                self.inner.note_reask(salt, 0);
+                retry
+            });
+            if self.time_step("validate", || validate(&retry)) {
                 self.bump(stage, |s| s.reasked += 1);
                 return retry;
             }
-            match salvage(retry) {
+            match self.time_step("salvage", || salvage(retry)) {
                 Ok(fixed) => {
                     self.bump(stage, |s| s.reasked += 1);
                     return fixed;

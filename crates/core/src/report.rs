@@ -29,7 +29,7 @@ impl StepTimings {
 }
 
 /// Summary counters describing what the pipeline did.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PipelineStats {
     /// Cells labelled directly by the LLM.
     pub llm_labeled_cells: usize,
@@ -111,6 +111,17 @@ pub struct PipelineStats {
     /// `mangled == repaired + reasked + defaulted`.
     #[serde(default)]
     pub repair: RepairCounters,
+    /// Hierarchical stage profile of this run: a tree of wall-clock spans
+    /// covering the five pipeline steps and their sub-stages, with grafted
+    /// parallel distribution nodes for per-attribute work, the scheduler
+    /// (queue-wait / execute), the response cache (lock-hold / park-wait /
+    /// preload) and the persisted store (open / preload / fsync / compaction
+    /// / GC). `None` only for the degenerate empty-table early return.
+    /// Sequential (non-parallel) children of any node sum to at most the
+    /// node's own wall time — `zeroed_obs::StageProfile::accounting_ok`
+    /// checks the whole tree.
+    #[serde(default)]
+    pub stage_profile: Option<zeroed_obs::StageProfile>,
 }
 
 /// The result of running ZeroED on a dirty table.

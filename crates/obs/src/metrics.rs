@@ -1,0 +1,156 @@
+//! Named counters and gauges with get-or-create registration.
+//!
+//! A [`MetricsRegistry`] hands out cheap cloneable [`Counter`] / [`Gauge`]
+//! handles keyed by name; asking for the same name twice returns a handle to
+//! the same underlying atomic, so independent layers can contribute to one
+//! metric without coordination. The registry serializes to the bench
+//! emitters' hand-rolled JSON style with keys in registration order.
+
+use crate::json::escape_json;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonically increasing counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed point-in-time gauge handle.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust by a (possibly negative) delta.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Registry of named counters and gauges.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<Vec<(String, Counter)>>,
+    gauges: Mutex<Vec<(String, Gauge)>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, c)) = counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// Get-or-create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut gauges = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, g)) = gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let g = Gauge::default();
+        gauges.push((name.to_string(), g.clone()));
+        g
+    }
+
+    /// `(name, value)` pairs for all counters, in registration order.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect()
+    }
+
+    /// `(name, value)` pairs for all gauges, in registration order.
+    pub fn gauges(&self) -> Vec<(String, i64)> {
+        self.gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect()
+    }
+
+    /// Serialize as one JSON object: counters then gauges, registration
+    /// order, `{"name": value, ...}`.
+    pub fn to_json(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (n, v) in self.counters() {
+            parts.push(format!("\"{}\": {}", escape_json(&n), v));
+        }
+        for (n, v) in self.gauges() {
+            parts.push(format!("\"{}\": {}", escape_json(&n), v));
+        }
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("requests");
+        let b = reg.counter("requests");
+        a.inc();
+        b.add(4);
+        assert_eq!(reg.counter("requests").get(), 5);
+        assert_eq!(reg.counters(), vec![("requests".to_string(), 5)]);
+    }
+
+    #[test]
+    fn gauges_set_and_add() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("queue_depth");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(reg.gauge("queue_depth").get(), 7);
+    }
+
+    #[test]
+    fn json_keeps_registration_order() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b").add(2);
+        reg.counter("a").add(1);
+        reg.gauge("depth").set(-4);
+        assert_eq!(reg.to_json(), "{\"b\": 2, \"a\": 1, \"depth\": -4}");
+    }
+}

@@ -11,6 +11,8 @@ use crate::key::RequestKey;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+use zeroed_obs::{Histogram, HistogramSnapshot};
 
 /// A structured LLM response, stored by value so a hit replays the exact
 /// object the wrapped client originally returned.
@@ -140,6 +142,40 @@ struct Counters {
     store_hits: AtomicU64,
 }
 
+/// Contention distributions for one cache's lifetime, from
+/// [`ResponseCache::timings`]. Quantiles are exact nearest-rank over each
+/// histogram's sample window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheTimings {
+    /// Total time each [`ResponseCache::get_or_compute`] call held the map
+    /// mutex (summed across that call's critical sections: lookup, claim,
+    /// publish — parked time excluded). One sample per call.
+    pub lock_hold: HistogramSnapshot,
+    /// Time callers spent parked on the publish condvar waiting for an
+    /// in-flight computation. One sample per caller that parked at least
+    /// once; non-parking calls record nothing here.
+    pub park_wait: HistogramSnapshot,
+    /// Duration of each [`ResponseCache::preload`] call (the warm-start
+    /// insertion path; essentially its lock-hold time).
+    pub preload: HistogramSnapshot,
+}
+
+struct Timings {
+    lock_hold: Histogram,
+    park_wait: Histogram,
+    preload: Histogram,
+}
+
+impl Default for Timings {
+    fn default() -> Self {
+        Self {
+            lock_hold: Histogram::new(),
+            park_wait: Histogram::new(),
+            preload: Histogram::new(),
+        }
+    }
+}
+
 /// Thread-safe single-flight response cache.
 ///
 /// Cloneable handles share one store ([`Arc`] inside), mirroring
@@ -148,6 +184,7 @@ pub struct ResponseCache {
     map: Mutex<HashMap<RequestKey, Entry>>,
     published: Condvar,
     counters: Counters,
+    timings: Timings,
     /// Entry budget; exceeding it flushes completed entries (generational
     /// eviction — in-flight slots survive so waiters are never orphaned).
     capacity: usize,
@@ -170,6 +207,7 @@ impl ResponseCache {
             map: Mutex::new(HashMap::new()),
             published: Condvar::new(),
             counters: Counters::default(),
+            timings: Timings::default(),
             capacity: capacity.max(1),
         }
     }
@@ -206,6 +244,16 @@ impl ResponseCache {
             flushes: self.counters.flushes.load(Ordering::Relaxed),
             flushed_entries: self.counters.flushed_entries.load(Ordering::Relaxed),
             store_hits: self.counters.store_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Contention distributions: per-call map-lock hold time, condvar park
+    /// time of coalesced waiters, and preload-call durations.
+    pub fn timings(&self) -> CacheTimings {
+        CacheTimings {
+            lock_hold: self.timings.lock_hold.snapshot(),
+            park_wait: self.timings.park_wait.snapshot(),
+            preload: self.timings.preload.snapshot(),
         }
     }
 
@@ -264,21 +312,26 @@ impl ResponseCache {
     /// absorb novel requests while keeping the preloaded generation alive.
     pub fn preload(&self, key: RequestKey, response: StoredResponse) -> bool {
         use std::collections::hash_map::Entry as MapEntry;
+        let t = Instant::now();
         let budget = self.capacity - self.capacity / 8;
         let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
-        if map.len() >= budget {
-            return false;
-        }
-        match map.entry(key) {
-            MapEntry::Occupied(_) => false,
-            MapEntry::Vacant(slot) => {
-                slot.insert(Entry {
-                    slot: Slot::Ready(Arc::new(response)),
-                    waiters: 0,
-                });
-                true
+        let loaded = if map.len() >= budget {
+            false
+        } else {
+            match map.entry(key) {
+                MapEntry::Occupied(_) => false,
+                MapEntry::Vacant(slot) => {
+                    slot.insert(Entry {
+                        slot: Slot::Ready(Arc::new(response)),
+                        waiters: 0,
+                    });
+                    true
+                }
             }
-        }
+        };
+        drop(map);
+        self.timings.preload.record(t.elapsed());
+        loaded
     }
 
     /// Returns the response for `key` (and how it was obtained), computing it
@@ -294,6 +347,12 @@ impl ResponseCache {
         compute: impl FnOnce() -> StoredResponse,
     ) -> (Arc<StoredResponse>, Lookup) {
         let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        // Observability: `held_nanos` accumulates this call's time under the
+        // map mutex (parked intervals excluded); `park_start` marks the first
+        // park so total coalesced wait records as one sample on exit.
+        let mut hold_start = Instant::now();
+        let mut held_nanos: u64 = 0;
+        let mut park_start: Option<Instant> = None;
         // `waited` feeds the coalesced counter; `pinned` tracks whether this
         // caller currently holds a waiter pin on the entry. They are distinct:
         // a waiter that claims a vacated flight has waited but no longer pins.
@@ -308,7 +367,12 @@ impl ResponseCache {
                             // Release the pin taken before parking.
                             entry.waiters -= 1;
                         }
+                        held_nanos += hold_start.elapsed().as_nanos() as u64;
                         drop(map);
+                        self.timings.lock_hold.record_nanos(held_nanos);
+                        if let Some(t) = park_start {
+                            self.timings.park_wait.record(t.elapsed());
+                        }
                         self.record_hit(&stored, waited);
                         return (stored, Lookup::Hit { coalesced: waited });
                     }
@@ -321,10 +385,13 @@ impl ResponseCache {
                             pinned = true;
                         }
                         waited = true;
+                        park_start.get_or_insert_with(Instant::now);
+                        held_nanos += hold_start.elapsed().as_nanos() as u64;
                         map = self
                             .published
                             .wait(map)
                             .unwrap_or_else(|e| e.into_inner());
+                        hold_start = Instant::now();
                     }
                     Slot::Vacated => {
                         // The previous computer panicked. Claim the flight in
@@ -364,7 +431,13 @@ impl ResponseCache {
                 }
             }
         }
+        held_nanos += hold_start.elapsed().as_nanos() as u64;
         drop(map);
+        if let Some(t) = park_start {
+            // Parked behind a computation that was vacated by a panic; this
+            // caller's wait ends here (it recomputes itself below).
+            self.timings.park_wait.record(t.elapsed());
+        }
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
 
         // Release the in-flight claim if `compute` unwinds, so parked waiters
@@ -404,6 +477,7 @@ impl ResponseCache {
         guard.armed = false;
 
         let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let hold_start = Instant::now();
         // Publish in place: the entry's waiter pin count must survive, so the
         // response stays flush-proof until every parked caller has read it.
         match map.get_mut(&key) {
@@ -418,7 +492,9 @@ impl ResponseCache {
                 );
             }
         }
+        held_nanos += hold_start.elapsed().as_nanos() as u64;
         drop(map);
+        self.timings.lock_hold.record_nanos(held_nanos);
         self.published.notify_all();
         (stored, Lookup::Miss)
     }
@@ -751,6 +827,36 @@ mod tests {
         // Preloaded entries still serve.
         let (_, lookup) = cache.get_or_compute(test_key(0), || response(false));
         assert_eq!(lookup, Lookup::Hit { coalesced: false });
+    }
+
+    #[test]
+    fn timings_record_holds_parks_and_preloads() {
+        let cache = ResponseCache::new(64);
+        let _ = cache.get_or_compute(test_key(1), || response(true));
+        let _ = cache.get_or_compute(test_key(1), || response(true));
+        assert!(cache.preload(test_key(2), response(false)));
+        let t = cache.timings();
+        assert_eq!(t.lock_hold.count, 2, "one hold sample per call");
+        assert_eq!(t.preload.count, 1);
+        assert_eq!(t.park_wait.count, 0, "nobody parked");
+
+        // A coalesced waiter records a park at least as long as the flight.
+        let cache = &cache;
+        std::thread::scope(|s| {
+            let (started_tx, started_rx) = std::sync::mpsc::channel();
+            s.spawn(move || {
+                let _ = cache.get_or_compute(test_key(3), || {
+                    started_tx.send(()).unwrap();
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    response(true)
+                });
+            });
+            started_rx.recv().unwrap();
+            let _ = cache.get_or_compute(test_key(3), || response(false));
+        });
+        let t = cache.timings();
+        assert_eq!(t.park_wait.count, 1);
+        assert!(t.park_wait.max_nanos >= 1_000_000);
     }
 
     #[test]

@@ -127,13 +127,14 @@ pub mod router;
 pub mod scheduler;
 
 pub use cache::{
-    CacheStats, CachedResponse, Lookup, ResponseCache, ResponseOrigin, StoredResponse,
+    CacheStats, CacheTimings, CachedResponse, Lookup, ResponseCache, ResponseOrigin,
+    StoredResponse,
 };
 pub use client::CachedLlm;
 pub use key::{RequestKey, RequestKeyBuilder, RequestKind};
-pub use persist::{PersistStats, StoreLayer, StoreSink};
+pub use persist::{PersistStats, StoreLayer, StoreLayerTimings, StoreSink};
 pub use router::{
     BackendConfig, BackendStats, BreakerPolicy, HedgePolicy, RouterConfig, RouterLlm, RouterStats,
 };
-pub use scheduler::{ExecMode, RuntimeConfig, Scheduler, SchedulerStats};
+pub use scheduler::{ExecMode, RuntimeConfig, Scheduler, SchedulerStats, SchedulerTimings};
 pub use zeroed_store::{FsyncPolicy, RecoveryReport, ShardedStore, StoreConfig, StoreStats};

@@ -25,6 +25,7 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 use zeroed_store::{now_epoch, RecoveryReport, ShardedStore, StoreConfig, StoreRecord, StoreStats};
 
 enum Job {
@@ -213,6 +214,24 @@ pub struct StoreLayer {
     queue: Arc<PersistQueue>,
     counters: Arc<Counters>,
     writer: Option<JoinHandle<()>>,
+    /// Wall time [`StoreLayer::open`] took (shard recovery + writer spawn).
+    open_nanos: u64,
+    /// Cumulative wall time of [`StoreLayer::preload_into`] calls.
+    preload_nanos: AtomicU64,
+}
+
+/// Wall-clock timings of a [`StoreLayer`]'s warm-start path, from
+/// [`StoreLayer::timings`]. Per-shard open/recovery breakdowns live in
+/// [`StoreStats`] (`open_nanos` there aggregates across shards); these cover
+/// the layer-level operations the pipeline observes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreLayerTimings {
+    /// [`StoreLayer::open`] wall time, nanoseconds (includes every shard's
+    /// crash recovery and the writer-thread spawn).
+    pub open_nanos: u64,
+    /// Cumulative [`StoreLayer::preload_into`] wall time, nanoseconds
+    /// (reading live records off disk and inserting them into the cache).
+    pub preload_nanos: u64,
 }
 
 impl std::fmt::Debug for StoreLayer {
@@ -228,6 +247,7 @@ impl StoreLayer {
     /// Opens the store at `config.dir` (running crash recovery) and starts
     /// the background writer.
     pub fn open(config: StoreConfig) -> io::Result<Self> {
+        let t_open = Instant::now();
         let store = Arc::new(ShardedStore::open(config)?);
         let queue = Arc::new(PersistQueue::new());
         let counters = Arc::new(Counters::default());
@@ -277,7 +297,17 @@ impl StoreLayer {
             queue,
             counters,
             writer: Some(writer),
+            open_nanos: t_open.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            preload_nanos: AtomicU64::new(0),
         })
+    }
+
+    /// Layer-level open/preload wall timings (see [`StoreLayerTimings`]).
+    pub fn timings(&self) -> StoreLayerTimings {
+        StoreLayerTimings {
+            open_nanos: self.open_nanos,
+            preload_nanos: self.preload_nanos.load(Ordering::Relaxed),
+        }
     }
 
     /// The underlying store.
@@ -326,6 +356,7 @@ impl StoreLayer {
     /// `ResponseOrigin::Persisted` entries. Returns how many were inserted
     /// (entries already present, or beyond the cache capacity, are skipped).
     pub fn preload_into(&self, cache: &ResponseCache) -> io::Result<usize> {
+        let t = Instant::now();
         let mut inserted = 0usize;
         for record in self.store.load_live()? {
             let response = StoredResponse {
@@ -338,6 +369,10 @@ impl StoreLayer {
                 inserted += 1;
             }
         }
+        self.preload_nanos.fetch_add(
+            t.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
         Ok(inserted)
     }
 }
@@ -522,6 +557,30 @@ mod tests {
             });
             assert_eq!(lookup, crate::cache::Lookup::Hit { coalesced: false });
         }
+        drop(layer);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn layer_timings_cover_open_and_preload() {
+        let dir = temp_dir();
+        let config = StoreConfig::new(dir.to_str().unwrap());
+        {
+            let layer = StoreLayer::open(config.clone()).unwrap();
+            let sink = layer.sink();
+            sink.offer(test_key(1), &response(5, &[true]));
+            layer.drain();
+            assert!(layer.timings().open_nanos > 0);
+            assert_eq!(layer.timings().preload_nanos, 0, "nothing preloaded yet");
+        }
+        let layer = StoreLayer::open(config).unwrap();
+        let cache = ResponseCache::new(16);
+        assert_eq!(layer.preload_into(&cache).unwrap(), 1);
+        let t = layer.timings();
+        assert!(t.open_nanos > 0);
+        assert!(t.preload_nanos > 0, "preload wall time recorded");
+        // The per-shard store aggregation carries its own open timing too.
+        assert!(layer.store_stats().open_nanos > 0);
         drop(layer);
         let _ = std::fs::remove_dir_all(&dir);
     }

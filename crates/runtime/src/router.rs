@@ -180,6 +180,9 @@ pub struct BackendStats {
     pub faults_slow: u64,
     /// Times this backend's breaker tripped open.
     pub breaker_trips: u64,
+    /// Latency distribution of the requests this backend executed (and won):
+    /// lifetime count/total/max plus exact window p50/p95/p99.
+    pub latency: zeroed_obs::HistogramSnapshot,
 }
 
 impl BackendStats {
@@ -306,6 +309,9 @@ struct Backend<'a> {
     budget: Budget,
     breaker: Mutex<Breaker>,
     counters: BackendCounters,
+    /// Caller-observed latency of requests this backend executed (and won),
+    /// surfaced as [`BackendStats::latency`].
+    latency: zeroed_obs::Histogram,
 }
 
 #[derive(Default)]
@@ -319,29 +325,10 @@ struct RouterCounters {
 
 /// Latency-sample retention cap. Recent-window quantiles are what both the
 /// hedge deadline and the benchmark report want, and the bound keeps a
-/// long-running router's memory and per-hedge sort cost constant.
-const LATENCY_WINDOW: usize = 4096;
-
-/// Bounded ring of per-request latencies (oldest overwritten past the cap).
-#[derive(Default)]
-struct LatencyWindow {
-    buf: Vec<Duration>,
-    next: usize,
-    /// Samples ever pushed (the staleness clock for the deadline cache).
-    total: u64,
-}
-
-impl LatencyWindow {
-    fn push(&mut self, sample: Duration) {
-        if self.buf.len() < LATENCY_WINDOW {
-            self.buf.push(sample);
-        } else {
-            self.buf[self.next] = sample;
-            self.next = (self.next + 1) % LATENCY_WINDOW;
-        }
-        self.total += 1;
-    }
-}
+/// long-running router's memory and per-hedge sort cost constant. This is
+/// the [`zeroed_obs::Histogram`] default window, restated here so the router
+/// docs and tests name the number they rely on.
+const LATENCY_WINDOW: usize = zeroed_obs::Histogram::DEFAULT_WINDOW;
 
 /// Memoised hedge deadline: recomputing the latency percentile means cloning
 /// and sorting the whole sample window, so it is refreshed at most once per
@@ -355,17 +342,6 @@ struct DeadlineCache {
 /// How many new samples may accumulate before the hedge deadline is
 /// recomputed from the latency window.
 const DEADLINE_REFRESH: u64 = 32;
-
-/// The `q`-quantile of a sample set (`Duration::ZERO` when empty).
-fn quantile(mut samples: Vec<Duration>, q: f64) -> Duration {
-    if samples.is_empty() {
-        return Duration::ZERO;
-    }
-    samples.sort_unstable();
-    let idx = ((samples.len() as f64 * q.clamp(0.0, 1.0)).ceil() as usize).clamp(1, samples.len())
-        - 1;
-    samples[idx]
-}
 
 /// The multi-backend routing [`LlmClient`] (see module docs).
 pub struct RouterLlm<'a> {
@@ -381,9 +357,9 @@ pub struct RouterLlm<'a> {
     ledger: TokenLedger,
     counters: RouterCounters,
     /// Per-request wall latency (the caller-observed duration of each routed
-    /// request, including failover timeouts and hedge deadlines). Bounded to
-    /// the most recent [`LATENCY_WINDOW`] requests.
-    samples: Mutex<LatencyWindow>,
+    /// request, including failover timeouts and hedge deadlines). Quantiles
+    /// are computed over the most recent [`LATENCY_WINDOW`] requests.
+    samples: zeroed_obs::Histogram,
     /// Memoised hedge deadline (see [`DeadlineCache`]).
     deadline: Mutex<DeadlineCache>,
 }
@@ -436,6 +412,7 @@ impl<'a> RouterLlm<'a> {
                         state: BreakerState::Closed,
                     }),
                     counters: BackendCounters::default(),
+                    latency: zeroed_obs::Histogram::new(),
                     config: cfg,
                 }
             })
@@ -449,7 +426,7 @@ impl<'a> RouterLlm<'a> {
             latency_scale: config.latency_scale.max(0.0),
             ledger: TokenLedger::new(),
             counters: RouterCounters::default(),
-            samples: Mutex::new(LatencyWindow::default()),
+            samples: zeroed_obs::Histogram::with_window(LATENCY_WINDOW),
             deadline: Mutex::new(DeadlineCache::default()),
         }
     }
@@ -486,6 +463,7 @@ impl<'a> RouterLlm<'a> {
                 faults_timeout: b.counters.faults_timeout.load(Ordering::Relaxed),
                 faults_slow: b.counters.faults_slow.load(Ordering::Relaxed),
                 breaker_trips: b.counters.breaker_trips.load(Ordering::Relaxed),
+                latency: b.latency.snapshot(),
             })
             .collect();
         RouterStats {
@@ -501,19 +479,23 @@ impl<'a> RouterLlm<'a> {
     }
 
     /// Caller-observed latency of the most recent routed requests (bounded
-    /// to the 4096-sample latency window).
+    /// to the backing histogram's 4096-sample window).
     pub fn latency_samples(&self) -> Vec<Duration> {
-        self.samples
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .buf
-            .clone()
+        self.samples.samples()
     }
 
     /// The `q`-quantile (`0.0..=1.0`) of observed request latencies
-    /// (`Duration::ZERO` before any request).
+    /// (`Duration::ZERO` before any request). Exact nearest-rank over the
+    /// sample window.
     pub fn latency_quantile(&self, q: f64) -> Duration {
-        quantile(self.latency_samples(), q)
+        self.samples.quantile(q.clamp(0.0, 1.0))
+    }
+
+    /// Router-wide latency distribution (lifetime count/total/max, window
+    /// p50/p95/p99); per-backend distributions are in
+    /// [`BackendStats::latency`].
+    pub fn latency_histogram(&self) -> zeroed_obs::HistogramSnapshot {
+        self.samples.snapshot()
     }
 
     /// The current hedge deadline: the policy percentile of observed request
@@ -523,20 +505,19 @@ impl<'a> RouterLlm<'a> {
     /// window, which is too expensive to repeat on every hedge.
     fn hedge_deadline(&self) -> Duration {
         let floor = Duration::from_nanos((self.hedge.min_deadline_ms.max(0.0) * 1e6) as u64);
-        let total = {
-            let w = self.samples.lock().unwrap_or_else(|e| e.into_inner());
-            if w.buf.len() < 20 {
-                return floor;
-            }
-            w.total
-        };
+        // Lifetime sample count doubles as the staleness clock (the window
+        // only ever shrinks it to the most recent LATENCY_WINDOW samples).
+        let total = self.samples.count();
+        if total < 20 {
+            return floor;
+        }
         {
             let cached = self.deadline.lock().unwrap_or_else(|e| e.into_inner());
             if cached.at_total > 0 && total.saturating_sub(cached.at_total) < DEADLINE_REFRESH {
                 return cached.value.max(floor);
             }
         }
-        let value = quantile(self.latency_samples(), self.hedge.percentile).max(floor);
+        let value = self.samples.quantile(self.hedge.percentile).max(floor);
         *self.deadline.lock().unwrap_or_else(|e| e.into_inner()) = DeadlineCache {
             at_total: total,
             value,
@@ -752,10 +733,12 @@ impl<'a> RouterLlm<'a> {
                 .fetch_add(input + output, Ordering::Relaxed);
         }
 
-        self.samples
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(t_start.elapsed());
+        // Caller-observed wall latency: once router-wide (feeds the hedge
+        // deadline and `latency_quantile`) and once against the winning
+        // backend's own distribution.
+        let observed = t_start.elapsed();
+        self.samples.record(observed);
+        backend.latency.record(observed);
         value
     }
 }
@@ -1148,11 +1131,8 @@ mod tests {
         let clients: Vec<&dyn LlmClient> = sims.iter().map(|s| s as &dyn LlmClient).collect();
         let router = RouterLlm::new(clients, &RouterConfig::for_backends(1));
         assert_eq!(router.latency_quantile(0.99), Duration::ZERO);
-        {
-            let mut s = router.samples.lock().unwrap();
-            for ms in 1..=100 {
-                s.push(Duration::from_millis(ms));
-            }
+        for ms in 1..=100 {
+            router.samples.record(Duration::from_millis(ms));
         }
         assert_eq!(router.latency_quantile(0.5), Duration::from_millis(50));
         assert_eq!(router.latency_quantile(0.99), Duration::from_millis(99));
@@ -1161,13 +1141,20 @@ mod tests {
 
     #[test]
     fn latency_window_is_bounded_and_keeps_recent_samples() {
-        let mut w = LatencyWindow::default();
+        let sims = replicas(1, &[]);
+        let clients: Vec<&dyn LlmClient> = sims.iter().map(|s| s as &dyn LlmClient).collect();
+        let router = RouterLlm::new(clients, &RouterConfig::for_backends(1));
         for i in 0..(LATENCY_WINDOW + 500) {
-            w.push(Duration::from_micros(i as u64));
+            router.samples.record(Duration::from_micros(i as u64));
         }
-        assert_eq!(w.buf.len(), LATENCY_WINDOW, "retention must be bounded");
-        // The overwritten slots hold the newest samples.
-        assert!(w.buf.iter().any(|d| *d == Duration::from_micros((LATENCY_WINDOW + 499) as u64)));
-        assert!(w.buf.iter().all(|d| *d >= Duration::from_micros(500)));
+        let window = router.latency_samples();
+        assert_eq!(window.len(), LATENCY_WINDOW, "retention must be bounded");
+        // The overwritten slots hold the newest samples; lifetime counting
+        // still sees everything.
+        assert!(window
+            .iter()
+            .any(|d| *d == Duration::from_micros((LATENCY_WINDOW + 499) as u64)));
+        assert!(window.iter().all(|d| *d >= Duration::from_micros(500)));
+        assert_eq!(router.samples.count() as usize, LATENCY_WINDOW + 500);
     }
 }

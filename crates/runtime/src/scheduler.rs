@@ -12,6 +12,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+use zeroed_obs::{Histogram, HistogramSnapshot};
 
 /// How the pipeline executes its per-attribute work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -114,6 +116,19 @@ pub struct SchedulerStats {
     pub tasks: u64,
     /// Retry attempts performed by [`Scheduler::run_fallible`].
     pub retries: u64,
+}
+
+/// Per-task timing distributions for one scheduler's lifetime: how long each
+/// task sat in the bounded queue before a worker picked it up, and how long
+/// its closure ran. Snapshots come from [`Scheduler::timings`]; quantiles are
+/// exact nearest-rank over the histogram's sample window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerTimings {
+    /// Submit-to-pop latency per task (zero on the inline fast path, which
+    /// has no queue and records nothing here).
+    pub queue_wait: HistogramSnapshot,
+    /// Closure execution time per task (recorded on both paths).
+    pub execute: HistogramSnapshot,
 }
 
 #[derive(Default)]
@@ -221,6 +236,8 @@ pub struct Scheduler {
     queue_capacity: usize,
     max_retries: usize,
     counters: Counters,
+    queue_wait: Histogram,
+    execute: Histogram,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -242,6 +259,8 @@ impl Scheduler {
             queue_capacity: config.queue_capacity,
             max_retries: config.max_retries,
             counters: Counters::default(),
+            queue_wait: Histogram::new(),
+            execute: Histogram::new(),
         }
     }
 
@@ -252,6 +271,8 @@ impl Scheduler {
             queue_capacity: 256,
             max_retries: 2,
             counters: Counters::default(),
+            queue_wait: Histogram::new(),
+            execute: Histogram::new(),
         }
     }
 
@@ -269,6 +290,15 @@ impl Scheduler {
         }
     }
 
+    /// Per-task queue-wait and execute-time distributions accumulated across
+    /// every batch this scheduler has run.
+    pub fn timings(&self) -> SchedulerTimings {
+        SchedulerTimings {
+            queue_wait: self.queue_wait.snapshot(),
+            execute: self.execute.snapshot(),
+        }
+    }
+
     /// Runs tasks `0..n` on the pool and returns their results in task order.
     ///
     /// `f` runs once per task; a panicking task aborts the whole batch (the
@@ -282,22 +312,47 @@ impl Scheduler {
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
         if self.workers <= 1 || n <= 1 {
             self.counters.tasks.fetch_add(n as u64, Ordering::Relaxed);
-            return (0..n).map(f).collect();
+            return (0..n)
+                .map(|i| {
+                    let t = Instant::now();
+                    let value = f(i);
+                    self.execute.record(t.elapsed());
+                    value
+                })
+                .collect();
         }
         let queue = BoundedQueue::new(self.queue_capacity);
         let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        // Submit timestamps as nanos since `batch_start`: the producer stamps
+        // slot `i` before pushing index `i`, the popping worker subtracts to
+        // get the task's queue wait. The queue's mutex orders the relaxed
+        // store before the worker's load.
+        let batch_start = Instant::now();
+        let submitted: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
         std::thread::scope(|s| {
             for _ in 0..self.workers.min(n) {
                 s.spawn(|| {
                     let _guard = PanicGuard(&queue);
                     while let Some(i) = queue.pop() {
+                        let waited = batch_start
+                            .elapsed()
+                            .as_nanos()
+                            .saturating_sub(submitted[i].load(Ordering::Relaxed) as u128);
+                        self.queue_wait
+                            .record_nanos(waited.min(u64::MAX as u128) as u64);
+                        let t = Instant::now();
                         let value = f(i);
+                        self.execute.record(t.elapsed());
                         *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
                         self.counters.tasks.fetch_add(1, Ordering::Relaxed);
                     }
                 });
             }
             for i in 0..n {
+                submitted[i].store(
+                    batch_start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                    Ordering::Relaxed,
+                );
                 if !queue.push(i) {
                     // A worker panicked and closed the queue; stop producing
                     // and let the scope join rethrow the panic.
@@ -414,6 +469,23 @@ mod tests {
 
         let exhausted = s.run_fallible(1, |_| Err::<(), _>("always"));
         assert_eq!(exhausted[0], Err("always"));
+    }
+
+    #[test]
+    fn timings_cover_every_task() {
+        let s = Scheduler::with_workers(4);
+        let _ = s.run(32, |_| std::thread::sleep(std::time::Duration::from_millis(1)));
+        let t = s.timings();
+        assert_eq!(t.execute.count, 32);
+        assert_eq!(t.queue_wait.count, 32);
+        // Each task slept ≥1ms, so the p50 execute time cannot be below it.
+        assert!(t.execute.p50_nanos >= 1_000_000);
+
+        // The inline path records execute but has no queue to wait in.
+        let inline = Scheduler::with_workers(1);
+        let _ = inline.run(4, |i| i);
+        assert_eq!(inline.timings().execute.count, 4);
+        assert_eq!(inline.timings().queue_wait.count, 0);
     }
 
     #[test]

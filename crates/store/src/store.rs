@@ -40,6 +40,7 @@ use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// When the store calls `fsync` on segment data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -178,6 +179,18 @@ pub struct StoreStats {
     pub compactions: u64,
     /// `fsync` calls issued.
     pub fsyncs: u64,
+    /// Wall time [`ResponseStore::open`] spent opening this store, including
+    /// crash recovery, TTL expiry at open and any open-triggered compaction,
+    /// in nanoseconds.
+    pub open_nanos: u64,
+    /// Wall time spent inside completed compactions, in nanoseconds.
+    pub compaction_nanos: u64,
+    /// Wall time spent in explicit [`ResponseStore::gc`] sweeps (including
+    /// compactions those sweeps triggered, which also count toward
+    /// `compaction_nanos`), in nanoseconds.
+    pub gc_nanos: u64,
+    /// Wall time spent waiting on `fsync`, in nanoseconds.
+    pub fsync_nanos: u64,
 }
 
 impl StoreStats {
@@ -193,6 +206,10 @@ impl StoreStats {
             expired_records: self.expired_records + other.expired_records,
             compactions: self.compactions + other.compactions,
             fsyncs: self.fsyncs + other.fsyncs,
+            open_nanos: self.open_nanos + other.open_nanos,
+            compaction_nanos: self.compaction_nanos + other.compaction_nanos,
+            gc_nanos: self.gc_nanos + other.gc_nanos,
+            fsync_nanos: self.fsync_nanos + other.fsync_nanos,
         }
     }
 }
@@ -251,6 +268,10 @@ struct Counters {
     expired_records: AtomicU64,
     compactions: AtomicU64,
     fsyncs: AtomicU64,
+    open_nanos: AtomicU64,
+    compaction_nanos: AtomicU64,
+    gc_nanos: AtomicU64,
+    fsync_nanos: AtomicU64,
 }
 
 /// The crash-safe on-disk response store (see module docs).
@@ -281,6 +302,7 @@ impl ResponseStore {
     /// existing segments. Damaged content is truncated or skipped, never
     /// fatal; only real I/O errors return `Err`.
     pub fn open(config: StoreConfig) -> io::Result<Self> {
+        let t_open = Instant::now();
         let dir = PathBuf::from(&config.dir);
         std::fs::create_dir_all(&dir)?;
 
@@ -418,6 +440,10 @@ impl ResponseStore {
                 store.compact_locked(&mut inner)?;
             }
         }
+        store.counters.open_nanos.store(
+            t_open.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
         Ok(store)
     }
 
@@ -448,6 +474,10 @@ impl ResponseStore {
             expired_records: self.counters.expired_records.load(Ordering::Relaxed),
             compactions: self.counters.compactions.load(Ordering::Relaxed),
             fsyncs: self.counters.fsyncs.load(Ordering::Relaxed),
+            open_nanos: self.counters.open_nanos.load(Ordering::Relaxed),
+            compaction_nanos: self.counters.compaction_nanos.load(Ordering::Relaxed),
+            gc_nanos: self.counters.gc_nanos.load(Ordering::Relaxed),
+            fsync_nanos: self.counters.fsync_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -456,7 +486,11 @@ impl ResponseStore {
     }
 
     fn fsync(&self, file: &File) -> io::Result<()> {
+        let t = Instant::now();
         file.sync_data()?;
+        self.counters
+            .fsync_nanos
+            .fetch_add(t.elapsed().as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
         self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -721,6 +755,7 @@ impl ResponseStore {
     }
 
     fn compact_locked(&self, inner: &mut Inner) -> io::Result<()> {
+        let t_compact = Instant::now();
         inner.stash = None;
         // Seal the active segment so its content is readable and accounted.
         self.seal_active(inner)?;
@@ -800,6 +835,10 @@ impl ResponseStore {
         inner.dead_records = 0;
         inner.formats = HashMap::from([(new_id, FORMAT_VERSION)]);
         self.counters.compactions.fetch_add(1, Ordering::Relaxed);
+        self.counters.compaction_nanos.fetch_add(
+            t_compact.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
         Ok(())
     }
 
@@ -813,6 +852,7 @@ impl ResponseStore {
         if self.config.ttl_secs == 0 {
             return Ok(0);
         }
+        let t_gc = Instant::now();
         let now = now_epoch();
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let expired_keys: Vec<u128> = inner
@@ -833,6 +873,9 @@ impl ResponseStore {
         if expired > 0 && self.should_compact(&inner) {
             self.compact_locked(&mut inner)?;
         }
+        self.counters
+            .gc_nanos
+            .fetch_add(t_gc.elapsed().as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
         Ok(expired)
     }
 
@@ -1169,6 +1212,37 @@ mod tests {
         store.append(&record(2, &[true])).unwrap();
         assert!(store.stats().fsyncs >= 2);
         store.sync().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn maintenance_wall_times_are_accounted() {
+        let dir = temp_dir();
+        let mut config = StoreConfig::new(dir.to_str().unwrap());
+        config.fsync = FsyncPolicy::Always;
+        config.ttl_secs = 1;
+        config.gc = false;
+        let store = ResponseStore::open(config).unwrap();
+        let stats = store.stats();
+        assert!(stats.open_nanos > 0, "open wall time recorded");
+        assert_eq!(stats.compaction_nanos, 0);
+        assert_eq!(stats.gc_nanos, 0);
+
+        store.append(&record(1, &[true])).unwrap();
+        assert!(store.stats().fsync_nanos > 0, "Always policy timed its sync");
+
+        store.compact().unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.compactions, 1);
+        assert!(stats.compaction_nanos > 0, "compaction wall time recorded");
+
+        store.gc().unwrap();
+        assert!(store.stats().gc_nanos > 0, "gc sweep wall time recorded");
+
+        // Aggregation sums timing fields like any other counter.
+        let doubled = stats.merge(&stats);
+        assert_eq!(doubled.open_nanos, stats.open_nanos * 2);
+        assert_eq!(doubled.compaction_nanos, stats.compaction_nanos * 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -14,6 +14,8 @@
 //! * [`criteria`] — the executable error-checking criteria DSL;
 //! * [`llm`] — the `LlmClient` abstraction, prompt templates, token ledger and
 //!   the simulated LLM;
+//! * [`obs`] — the always-on observability layer (hierarchical stage
+//!   profiler, counters/gauges, latency histograms with exact quantiles);
 //! * [`runtime`] — the concurrent LLM orchestration runtime (worker-pool
 //!   scheduler, request-dedup response cache, and the multi-backend router
 //!   with hedged requests and circuit breaking);
@@ -44,6 +46,7 @@ pub use zeroed_datagen as datagen;
 pub use zeroed_features as features;
 pub use zeroed_llm as llm;
 pub use zeroed_ml as ml;
+pub use zeroed_obs as obs;
 pub use zeroed_runtime as runtime;
 pub use zeroed_store as store;
 pub use zeroed_table as table;
