@@ -1,13 +1,32 @@
 //! Clustering cost in rows and dimensions (sampling step, paper §III-C).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use zeroed_cluster::{cluster, SamplingMethod};
+use zeroed_cluster::{cluster, kmeans, kmeans_reference, KMeansConfig, SamplingMethod};
 
 fn synthetic(n: usize, dim: usize) -> Vec<Vec<f32>> {
     (0..n)
         .map(|i| {
             (0..dim)
                 .map(|d| ((i * 31 + d * 17) % 97) as f32 / 97.0 + ((i % 7) * 3) as f32)
+                .collect()
+        })
+        .collect()
+}
+
+/// `n` rows drawn from `u` distinct integer-valued vectors — the shape real
+/// per-attribute features take (assembled per distinct cell value).
+fn duplicated(n: usize, u: usize, dim: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            let v = (i * 7 + i / 11) % u;
+            (0..dim)
+                .map(|d| {
+                    if d == 0 {
+                        v as f32
+                    } else {
+                        ((v * (d + 3) + d * d) % 23) as f32
+                    }
+                })
                 .collect()
         })
         .collect()
@@ -33,5 +52,31 @@ fn bench_cluster(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cluster);
+/// The sampling-stage hot path: dedup-weighted k-means against the retained
+/// full-row oracle on low-cardinality tables (u distinct vectors ≪ n rows).
+fn bench_kmeans_dedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_dedup");
+    let config = KMeansConfig::default();
+    for &(n, u) in &[(10_000usize, 50usize), (50_000, 200)] {
+        let data = duplicated(n, u, 16);
+        let rows: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("dedup", format!("{n}x{u}")),
+            &rows,
+            |b, rows| b.iter(|| black_box(kmeans(rows, 25, &config, 7))),
+        );
+        // The oracle is quadratic in practice (k Lloyd scans over all rows),
+        // so only the smaller shape gets the reference run.
+        if n <= 10_000 {
+            group.bench_with_input(
+                BenchmarkId::new("oracle", format!("{n}x{u}")),
+                &rows,
+                |b, rows| b.iter(|| black_box(kmeans_reference(rows, 25, &config, 7))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster, bench_kmeans_dedup);
 criterion_main!(benches);

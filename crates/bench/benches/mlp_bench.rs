@@ -23,8 +23,19 @@ fn bench_mlp(c: &mut Criterion) {
         ..MlpConfig::default()
     };
 
-    c.bench_function("mlp/train_1000x64_10epochs", |b| {
-        b.iter(|| black_box(Mlp::fit(&refs, &labels, &config)))
+    // `fit` routes through the batched trainer; the scalar trainer is the
+    // retained equivalence oracle (bit-identical — see the mlp module docs).
+    c.bench_function("mlp/train_batched_1000x64_10epochs", |b| {
+        b.iter(|| {
+            let mut mlp = Mlp::new(64, &config);
+            black_box(mlp.train_batched(&refs, &labels, &config))
+        })
+    });
+    c.bench_function("mlp/train_scalar_1000x64_10epochs", |b| {
+        b.iter(|| {
+            let mut mlp = Mlp::new(64, &config);
+            black_box(mlp.train(&refs, &labels, &config))
+        })
     });
 
     let model = Mlp::fit(&refs, &labels, &config);
@@ -34,6 +45,9 @@ fn bench_mlp(c: &mut Criterion) {
                 black_box(model.predict_proba(row));
             }
         })
+    });
+    c.bench_function("mlp/predict_batch_1000x64", |b| {
+        b.iter(|| black_box(model.predict_proba_batch(&refs)))
     });
 }
 

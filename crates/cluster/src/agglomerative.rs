@@ -7,7 +7,7 @@
 //! centroid. The merge step uses the nearest-neighbour-chain algorithm with
 //! Ward linkage, which runs in `O(sample² · dim)` time and linear memory.
 
-use crate::{assign_to_nearest, sq_dist, Clustering};
+use crate::{assign_to_nearest, Clustering};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -35,13 +35,28 @@ impl Node {
 }
 
 /// Ward distance between two clusters represented by centroid sums and sizes.
+///
+/// Computed straight off the running `sum`/`size` fields with zero
+/// allocations: each centroid component is materialised as the same
+/// `(sum / size) as f32` value [`Node::centroid`] would produce and the
+/// squared distance accumulates in f32 in [`crate::sq_dist`]'s exact
+/// operation
+/// order, so the result is bit-identical to the former
+/// `sq_dist(&a.centroid(), &b.centroid())` formulation — this function is
+/// evaluated O(sample²) times per merge pass, where the two `Vec<f32>`
+/// allocations per call used to dominate.
 fn ward_distance(a: &Node, b: &Node) -> f64 {
+    debug_assert_eq!(a.sum.len(), b.sum.len());
     let na = a.size as f64;
     let nb = b.size as f64;
-    let ca = a.centroid();
-    let cb = b.centroid();
-    let d2 = sq_dist(&ca, &cb) as f64;
-    na * nb / (na + nb) * d2
+    let mut acc = 0.0f32;
+    for (sa, sb) in a.sum.iter().zip(b.sum.iter()) {
+        let ca = (sa / na) as f32;
+        let cb = (sb / nb) as f32;
+        let d = ca - cb;
+        acc += d * d;
+    }
+    na * nb / (na + nb) * (acc as f64)
 }
 
 /// Agglomerative (Ward) clustering of `data` into `k` clusters.
@@ -202,5 +217,33 @@ mod tests {
             alive: true,
         };
         assert!(ward_distance(&a, &near) < ward_distance(&a, &far));
+    }
+
+    /// The zero-alloc `ward_distance` must be bit-identical to the
+    /// allocating `sq_dist(&a.centroid(), &b.centroid())` formulation it
+    /// replaced, including on sizes whose centroid division is inexact.
+    #[test]
+    fn ward_distance_matches_the_allocating_formulation_bitwise() {
+        let mk = |sum: Vec<f64>, size: usize| Node {
+            sum,
+            size,
+            alive: true,
+        };
+        let nodes = [
+            mk(vec![0.1, -2.7, 3.9], 1),
+            mk(vec![10.0, 0.5, -0.25], 3),
+            mk(vec![-7.3, 7.3, 100.0], 7),
+            mk(vec![0.0, 0.0, 0.0], 13),
+        ];
+        for a in &nodes {
+            for b in &nodes {
+                let fast = ward_distance(a, b);
+                let na = a.size as f64;
+                let nb = b.size as f64;
+                let reference =
+                    na * nb / (na + nb) * (crate::sq_dist(&a.centroid(), &b.centroid()) as f64);
+                assert_eq!(fast.to_bits(), reference.to_bits());
+            }
+        }
     }
 }

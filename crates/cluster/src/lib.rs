@@ -42,14 +42,20 @@
 //!   empty inputs yield an empty clustering rather than panicking.
 
 pub mod agglomerative;
+pub mod dedup;
 pub mod kmeans;
 
 pub use agglomerative::agglomerative;
-pub use kmeans::{kmeans, KMeansConfig};
+pub use dedup::DedupPoints;
+pub use kmeans::{
+    kmeans, kmeans_dedup, kmeans_reference, kmeans_reference_with_initial, kmeans_with_initial,
+    KMeansConfig,
+};
 
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 /// Which sampling strategy to use when picking representative cells.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -107,7 +113,26 @@ impl Clustering {
     /// For each non-empty cluster, the index of the data point closest to the
     /// centroid — the representative that ZeroED sends to the LLM for
     /// labelling.
+    ///
+    /// Single pass over the rows; bit-identical to
+    /// [`Clustering::representatives_reference`] (each row's distance is
+    /// evaluated against its own cluster's centroid exactly as the per-cluster
+    /// scan does, and the strict `<` keeps the earliest minimal row).
     pub fn representatives(&self, data: &[&[f32]]) -> Vec<usize> {
+        let mut best: Vec<Option<(usize, f32)>> = vec![None; self.k];
+        for (i, &a) in self.assignments.iter().enumerate() {
+            let d = sq_dist(data[i], &self.centroids[a]);
+            match best[a] {
+                Some((_, bd)) if !(d < bd) => {}
+                _ => best[a] = Some((i, d)),
+            }
+        }
+        best.into_iter().flatten().map(|(i, _)| i).collect()
+    }
+
+    /// The original O(k·n) per-cluster scan, kept as the equivalence oracle
+    /// for [`Clustering::representatives`].
+    pub fn representatives_reference(&self, data: &[&[f32]]) -> Vec<usize> {
         let mut reps = Vec::with_capacity(self.k);
         for c in 0..self.k {
             let mut best: Option<(usize, f32)> = None;
@@ -176,9 +201,11 @@ pub fn random_clustering(data: &[&[f32]], k: usize, seed: u64) -> Clustering {
     }
 }
 
-/// Assigns each point to the index of its nearest centroid.
+/// Assigns each point to the index of its nearest centroid (parallel over
+/// points; each element is an independent argmin, so the result is identical
+/// to the sequential scan under any thread count).
 pub fn assign_to_nearest(data: &[&[f32]], centroids: &[Vec<f32>]) -> Vec<usize> {
-    data.iter()
+    data.par_iter()
         .map(|row| {
             let mut best = 0usize;
             let mut best_d = f32::INFINITY;

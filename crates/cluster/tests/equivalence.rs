@@ -1,0 +1,151 @@
+//! Equivalence and property suite for the dedup-weighted clustering fast
+//! paths against their retained scalar oracles.
+//!
+//! The duplicated-row tables below use integer-valued f32 features so the
+//! weighted f64 centroid sums are exact; in that regime the fast path is
+//! bit-identical to the full-row oracle (see the `kmeans` module docs). The
+//! all-distinct tables exercise the regime where the two paths coincide
+//! unconditionally (every multiplicity is 1, and `1.0 * x == x` exactly).
+
+use zeroed_cluster::{
+    assign_to_nearest, kmeans, kmeans_reference, DedupPoints, KMeansConfig, SamplingMethod,
+};
+
+fn refs(data: &[Vec<f32>]) -> Vec<&[f32]> {
+    data.iter().map(|r| r.as_slice()).collect()
+}
+
+/// A low-cardinality table shaped like real per-attribute features: `n` rows
+/// drawn from `u` distinct integer-valued vectors, interleaved so duplicate
+/// runs are non-contiguous.
+fn duplicated_table(n: usize, u: usize, dim: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            let v = (i * 7 + i / 11) % u;
+            // Dimension 0 carries `v` itself so the table holds exactly `u`
+            // distinct vectors; the rest wrap for varied geometry.
+            (0..dim)
+                .map(|d| {
+                    if d == 0 {
+                        v as f32
+                    } else {
+                        ((v * (d + 3) + d * d) % 23) as f32
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// An all-distinct table with non-integer values.
+fn distinct_table(n: usize, dim: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|d| (i * dim + d) as f32 * 0.37 - 1.9)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn dedup_kmeans_is_bit_identical_to_the_oracle_on_duplicated_tables() {
+    for (n, u, k, seed) in [
+        (500usize, 9usize, 4usize, 1u64),
+        (1_000, 40, 12, 7),
+        (737, 3, 5, 99),
+        (200, 200, 8, 5), // u == n: degenerate dedup, still identical
+    ] {
+        let data = duplicated_table(n, u, 4);
+        let rows = refs(&data);
+        let config = KMeansConfig::default();
+        let fast = kmeans(&rows, k, &config, seed);
+        let oracle = kmeans_reference(&rows, k, &config, seed);
+        assert_eq!(fast.k, oracle.k, "n={n} u={u} k={k} seed={seed}");
+        assert_eq!(fast.assignments, oracle.assignments, "n={n} u={u} k={k}");
+        assert_eq!(fast.centroids, oracle.centroids, "n={n} u={u} k={k}");
+    }
+}
+
+#[test]
+fn dedup_kmeans_is_bit_identical_to_the_oracle_on_all_distinct_tables() {
+    let data = distinct_table(300, 3);
+    let rows = refs(&data);
+    let config = KMeansConfig::default();
+    for seed in [0u64, 3, 17] {
+        let fast = kmeans(&rows, 6, &config, seed);
+        let oracle = kmeans_reference(&rows, 6, &config, seed);
+        assert_eq!(fast.assignments, oracle.assignments, "seed={seed}");
+        assert_eq!(fast.centroids, oracle.centroids, "seed={seed}");
+    }
+}
+
+#[test]
+fn single_pass_representatives_match_the_reference_scan() {
+    for (n, u, k, seed) in [(400usize, 11usize, 6usize, 2u64), (250, 250, 9, 4)] {
+        let data = duplicated_table(n, u, 3);
+        let rows = refs(&data);
+        let c = kmeans(&rows, k, &KMeansConfig::default(), seed);
+        assert_eq!(
+            c.representatives(&rows),
+            c.representatives_reference(&rows),
+            "n={n} u={u} k={k}"
+        );
+    }
+}
+
+#[test]
+fn dedup_representatives_match_the_reference_scan() {
+    let data = duplicated_table(600, 13, 4);
+    let rows = refs(&data);
+    let dd = DedupPoints::build(&rows);
+    for method in [SamplingMethod::KMeans, SamplingMethod::Random] {
+        let c = zeroed_cluster::cluster(method, &rows, 7, 11);
+        assert_eq!(
+            dd.representatives(&c),
+            c.representatives_reference(&rows),
+            "{}",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn dedup_assignment_matches_full_assignment_on_large_input() {
+    let data = duplicated_table(2_000, 31, 5);
+    let rows = refs(&data);
+    let dd = DedupPoints::build(&rows);
+    let c = kmeans(&rows, 10, &KMeansConfig::default(), 3);
+    assert_eq!(
+        dd.assign_to_nearest(&c.centroids),
+        assign_to_nearest(&rows, &c.centroids)
+    );
+}
+
+/// The empty-cluster re-seed fix's global property: whenever the input holds
+/// at least `k` distinct points, the converged clustering must never carry
+/// two bit-identical centroids.
+#[test]
+fn no_duplicate_centroids_when_at_least_k_distinct_points() {
+    for (n, u, k) in [
+        (300usize, 8usize, 8usize),
+        (300, 8, 5),
+        (500, 20, 16),
+        (512, 64, 32),
+    ] {
+        let data = duplicated_table(n, u, 3);
+        let rows = refs(&data);
+        assert!(DedupPoints::build(&rows).n_unique() >= k, "premise violated");
+        for seed in 0..8u64 {
+            let c = kmeans(&rows, k, &KMeansConfig::default(), seed);
+            for a in 0..c.centroids.len() {
+                for b in (a + 1)..c.centroids.len() {
+                    assert_ne!(
+                        c.centroids[a], c.centroids[b],
+                        "n={n} u={u} k={k} seed={seed}: clusters {a}/{b} collide"
+                    );
+                }
+            }
+        }
+    }
+}

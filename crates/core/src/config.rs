@@ -121,6 +121,12 @@ impl ZeroEdConfig {
             embed_dim: 12,
             max_clusters_per_column: 60,
             max_augment_per_column: 40,
+            // Representative selection needs a *sketch* of each attribute,
+            // not an exact clustering: a 4k strided sample (plus the exact
+            // dedup path for attributes whose distinct count fits the cap)
+            // picks the same kind of representatives at a tenth of the
+            // Lloyd cost of the 20k default.
+            max_cluster_rows: 4_000,
             mlp: MlpConfig {
                 hidden: 24,
                 epochs: 12,

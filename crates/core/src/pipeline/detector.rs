@@ -5,12 +5,26 @@
 //! examples) and then classifies every cell of the attribute. Features are
 //! standardised per attribute before training.
 //!
+//! This stage shared the non-LLM wall with sampling at 50k rows, so
+//! [`train_and_predict`] runs in *dedup-weighted* form: the column's unified
+//! feature matrix is factored through its distinct rows once
+//! ([`DedupPoints`]), the scaler fits weighted moments over distinct training
+//! vectors ([`StandardScaler::fit_weighted`]), the MLP trains on distinct
+//! `(vector, label)` pairs weighted by multiplicity through the batched
+//! trainer ([`Mlp::fit_weighted`]), and prediction standardises + forwards
+//! each distinct vector exactly once, scattering flags back by code — so the
+//! per-column cost scales with the number of *distinct* values, not rows, and
+//! no per-cell `to_vec` copies remain. The scalar trainer is retained in
+//! `zeroed-ml` as the batched path's bit-identity oracle.
+//!
 //! [`train_and_predict`] is free of cross-attribute state and seeds its MLP
 //! from `(config seed, column)` alone, so the concurrent runtime path fans it
 //! out per attribute with bit-identical predictions to the sequential loop.
 
 use super::training_data::ColumnTrainingData;
 use crate::config::ZeroEdConfig;
+use std::collections::HashMap;
+use zeroed_cluster::DedupPoints;
 use zeroed_features::{FeatureMatrix, FittedFeatures};
 use zeroed_ml::{Mlp, MlpConfig, StandardScaler};
 use zeroed_table::Table;
@@ -30,21 +44,16 @@ pub fn train_and_predict(
         return Vec::new();
     }
 
-    // Assemble the training set.
-    let mut train_rows: Vec<Vec<f32>> = Vec::new();
-    let mut labels: Vec<f32> = Vec::new();
-    for &row in &data.clean_rows {
-        train_rows.push(unified.row(row).to_vec());
-        labels.push(0.0);
-    }
-    for &row in &data.error_rows {
-        train_rows.push(unified.row(row).to_vec());
-        labels.push(1.0);
-    }
+    // Factor the column's features through their distinct rows once; training,
+    // scaling and prediction below all run per distinct vector.
+    let row_refs = unified.row_refs();
+    let dd = DedupPoints::build(&row_refs);
+
     // Augmented error examples: featurise the fabricated value in the context
     // of its source row. When criteria features are in use, the fabricated
     // value is re-checked against the column's criteria so the extra block
     // stays consistent.
+    let mut augmented_rows: Vec<Vec<f32>> = Vec::new();
     for (context_row, value) in &data.augmented {
         let extra_override: Option<Vec<f32>> = data.criteria.as_ref().map(|set| {
             augmented_criteria_features(table, set, *context_row, column, value)
@@ -58,48 +67,120 @@ pub fn train_and_predict(
         // Guard against dimension drift (e.g. refined criteria adding checks):
         // only use the example when its dimensionality matches the matrix.
         if feat.len() == unified.n_cols() {
-            train_rows.push(feat);
-            labels.push(1.0);
+            augmented_rows.push(feat);
         }
     }
 
-    let n_error = labels.iter().filter(|&&l| l > 0.5).count();
-    let n_clean = labels.len() - n_error;
-    let has_error = n_error > 0;
-    let has_clean = n_clean > 0;
-    if train_rows.is_empty() || !has_error || !has_clean {
+    let n_error = data.error_rows.len() + augmented_rows.len();
+    let n_clean = data.clean_rows.len();
+    if n_error == 0 || n_clean == 0 {
         // Degenerate training data: predict the majority class we saw (or
         // "clean" when we saw nothing at all), mirroring the behaviour of a
         // classifier trained on a single class.
-        let default_flag = has_error && !has_clean;
+        let default_flag = n_error > 0;
         return vec![default_flag; n_rows];
+    }
+
+    // Weighted dedup training set: one slot per (distinct vector, label) —
+    // the label is part of the key because identical feature vectors can
+    // legitimately carry both labels — weighted by how many training rows
+    // fold into it. Slots are created in first-occurrence order (clean rows,
+    // then error rows, then augmented examples), keeping the set
+    // deterministic.
+    let mut slot_of: HashMap<(u32, bool), usize> = HashMap::new();
+    let mut slot_codes: Vec<u32> = Vec::new();
+    let mut labels: Vec<f32> = Vec::new();
+    let mut weights: Vec<f32> = Vec::new();
+    let mut upsert = |row: usize, is_error: bool| {
+        let code = dd.codes()[row];
+        match slot_of.entry((code, is_error)) {
+            std::collections::hash_map::Entry::Occupied(e) => weights[*e.get()] += 1.0,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(slot_codes.len());
+                slot_codes.push(code);
+                labels.push(if is_error { 1.0 } else { 0.0 });
+                weights.push(1.0);
+            }
+        }
+    };
+    for &row in &data.clean_rows {
+        upsert(row, false);
+    }
+    for &row in &data.error_rows {
+        upsert(row, true);
     }
 
     // Oversample the minority error class (at most 4x) so the cross-entropy
     // objective does not collapse to the majority class; this complements the
-    // LLM augmentation, which is capped per column.
-    if n_error * 2 < n_clean {
-        let ratio = ((n_clean / n_error.max(1)).min(4)).max(1);
-        let error_indices: Vec<usize> = labels
-            .iter()
-            .enumerate()
-            .filter(|(_, &l)| l > 0.5)
-            .map(|(i, _)| i)
-            .collect();
-        for _ in 1..ratio {
-            for &i in &error_indices {
-                train_rows.push(train_rows[i].clone());
-                labels.push(1.0);
-            }
+    // LLM augmentation, which is capped per column. In weighted form the
+    // oversample ratio simply multiplies every error example's weight.
+    let oversample = if n_error * 2 < n_clean {
+        ((n_clean / n_error).min(4)).max(1) as f32
+    } else {
+        1.0
+    };
+    for (w, l) in weights.iter_mut().zip(labels.iter()) {
+        if *l > 0.5 {
+            *w *= oversample;
         }
     }
 
-    // Standardise and train.
-    let train_refs: Vec<&[f32]> = train_rows.iter().map(|r| r.as_slice()).collect();
-    let scaler = StandardScaler::fit(&train_refs);
-    let scaled: Vec<Vec<f32>> = train_refs.iter().map(|r| scaler.transform(r)).collect();
-    let scaled_refs: Vec<&[f32]> = scaled.iter().map(|r| r.as_slice()).collect();
+    // Fit the scaler on the weighted training set (distinct training vectors
+    // plus the augmented examples), mirroring the former fit over the
+    // oversampled expanded rows.
+    let mut train_refs: Vec<&[f32]> = slot_codes
+        .iter()
+        .map(|&c| dd.unique_row(c as usize))
+        .collect();
+    for row in &augmented_rows {
+        train_refs.push(row.as_slice());
+        labels.push(1.0);
+        weights.push(oversample);
+    }
+    let scaler = StandardScaler::fit_weighted(&train_refs, &weights);
+
+    // Standardise the distinct matrix once; it serves both training (slots
+    // reference their scaled distinct row) and prediction below.
+    let scaled_uniques: Vec<Vec<f32>> = (0..dd.n_unique())
+        .map(|u| scaler.transform(dd.unique_row(u)))
+        .collect();
+    let scaled_augmented: Vec<Vec<f32>> = augmented_rows
+        .iter()
+        .map(|r| scaler.transform(r))
+        .collect();
+    let scaled_train: Vec<&[f32]> = slot_codes
+        .iter()
+        .map(|&c| scaled_uniques[c as usize].as_slice())
+        .chain(scaled_augmented.iter().map(|r| r.as_slice()))
+        .collect();
+    // The dedup set holds `t` slots standing in for `expanded` virtual rows,
+    // so one epoch now provides `t/expanded` of the former optimiser steps —
+    // running the configured epochs unchanged would underfit badly. Scale the
+    // epoch count to reach the former step count, capped at
+    // `DEDUP_STEP_CAP`: the capped regime is (near-)full-batch gradient
+    // descent over the small weighted problem, which converges in far fewer
+    // steps than the per-row SGD sweep it replaces. When the column is
+    // mostly distinct (t ≈ expanded) the clamp floor keeps the configured
+    // epochs and this degenerates to the former schedule.
+    const DEDUP_STEP_CAP: usize = 512;
+    // Hard ceiling on the Adam steps any single attribute may spend. The
+    // configured schedule (epochs × rows / batch) grows linearly with the
+    // table, so at 50k rows a high-cardinality attribute would pay ~9400
+    // steps — ~19x what the 24-hidden-unit detector needs to converge. The
+    // budget (~2.6 passes over 50k rows at batch 64) only binds on large
+    // attributes; every configured schedule below it is untouched, so
+    // small-table behaviour — and every quality test — is unchanged.
+    const TRAIN_STEP_BUDGET: usize = 2_048;
+    let batch = config.mlp.batch_size.max(1);
+    let expanded = weights.iter().sum::<f32>().round() as usize;
+    let steps_per_epoch = scaled_train.len().div_ceil(batch).max(1);
+    let expanded_steps = config.mlp.epochs * expanded.div_ceil(batch).max(1);
+    let config_steps = config.mlp.epochs * steps_per_epoch;
+    let target_steps = expanded_steps
+        .clamp(config_steps, DEDUP_STEP_CAP.max(config_steps))
+        .min(TRAIN_STEP_BUDGET.max(DEDUP_STEP_CAP));
     let mlp_config = MlpConfig {
+        epochs: target_steps.div_ceil(steps_per_epoch),
         seed: config
             .mlp
             .seed
@@ -107,17 +188,17 @@ pub fn train_and_predict(
             .wrapping_add(column as u64),
         ..config.mlp.clone()
     };
-    let mlp = Mlp::fit(&scaled_refs, &labels, &mlp_config);
+    let mlp = Mlp::fit_weighted(&scaled_train, &labels, &weights, &mlp_config);
 
-    // Predict every cell of the column, standardising into one reused buffer
-    // instead of allocating a fresh vector per cell.
-    let mut scratch = vec![0.0f32; scaler.dim()];
-    (0..n_rows)
-        .map(|row| {
-            scaler.transform_into(unified.row(row), &mut scratch);
-            mlp.predict(&scratch)
-        })
-        .collect()
+    // Predict each distinct vector once (parallel batch) and scatter the
+    // flags back to rows by code.
+    let scaled_refs: Vec<&[f32]> = scaled_uniques.iter().map(|r| r.as_slice()).collect();
+    let flags: Vec<bool> = mlp
+        .predict_proba_batch(&scaled_refs)
+        .into_iter()
+        .map(|p| p >= 0.5)
+        .collect();
+    dd.scatter(&flags)
 }
 
 /// Evaluates the column's criteria for a fabricated value placed in the

@@ -24,6 +24,12 @@
 //! re-running the same detection issues zero LLM requests (asserted by the
 //! `store_warm_start` conformance tests). The sequential oracle ignores the
 //! store by design.
+//!
+//! The two *local* hot stages run dedup-weighted fast paths — [`sampling`]
+//! clusters each attribute over its distinct feature vectors and
+//! [`detector`] trains/predicts per distinct row with multiplicity weights —
+//! with their scalar predecessors retained as equivalence oracles (see
+//! ARCHITECTURE.md, "The non-LLM wall").
 
 pub mod detector;
 pub mod features;

@@ -2,9 +2,29 @@
 //!
 //! Architecture (paper §III-D): `input → hidden (ReLU) → 1 (sigmoid)`, trained
 //! with the binary cross-entropy loss and the Adam optimiser on mini-batches.
+//!
+//! Two trainers share the algorithm:
+//!
+//! * [`Mlp::train`] — the scalar per-example loop, kept as the equivalence
+//!   oracle.
+//! * [`Mlp::train_batched`] / [`Mlp::train_weighted`] — the production fast
+//!   path: per batch, the forward pass runs in parallel over examples and the
+//!   backward pass in parallel over *hidden units* (each unit owns its `w1`
+//!   gradient row, its `b1` entry and its `w2` entry, accumulating over the
+//!   batch in example order). Because every output location has exactly one
+//!   owner and each owner adds in the same order as the scalar loop, the
+//!   gradients — and therefore the trained parameters — are bit-identical to
+//!   [`Mlp::train`]'s under any thread count. [`Mlp::train_weighted`] folds a
+//!   per-example weight into `dL/dlogit` (and the loss), which with unit
+//!   weights multiplies by `1.0` exactly — so `train_batched` *is*
+//!   `train_weighted` with weights of one, and both are covered by the same
+//!   oracle. The weighted form is what lets `zeroed-core`'s detector train on
+//!   deduplicated feature rows weighted by multiplicity instead of `n`
+//!   expanded copies.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// MLP hyper-parameters.
@@ -229,11 +249,157 @@ impl Mlp {
         last_epoch_loss
     }
 
-    /// Convenience: constructs and trains an MLP in one call.
+    /// Batched fast-path trainer: bit-identical to [`Mlp::train`] (see the
+    /// module docs), with the forward pass parallel over examples and the
+    /// backward pass parallel over hidden units.
+    pub fn train_batched(&mut self, rows: &[&[f32]], labels: &[f32], config: &MlpConfig) -> f32 {
+        self.train_weighted(rows, labels, &vec![1.0f32; rows.len()], config)
+    }
+
+    /// [`Mlp::train_batched`] with a positive weight per example: each
+    /// example's gradient and loss contribution is scaled by its weight, and
+    /// batch gradients are weighted means (divided by the batch's total
+    /// weight instead of its length). With unit weights this is bit-identical
+    /// to [`Mlp::train`]; with integer weights it trains on a deduplicated
+    /// set as if each row appeared `weight` times in every batch its distinct
+    /// vector lands in.
+    pub fn train_weighted(
+        &mut self,
+        rows: &[&[f32]],
+        labels: &[f32],
+        weights: &[f32],
+        config: &MlpConfig,
+    ) -> f32 {
+        assert_eq!(rows.len(), labels.len(), "rows and labels must align");
+        assert_eq!(rows.len(), weights.len(), "rows and weights must align");
+        debug_assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let n = rows.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(1));
+        let batch = config.batch_size.max(1);
+        let total_weight: f32 = weights.iter().sum();
+        let mut last_epoch_loss = 0.0f32;
+
+        let mut gw1 = vec![0.0f32; self.w1.value.len()];
+        let mut gb1 = vec![0.0f32; self.b1.value.len()];
+        let mut gw2 = vec![0.0f32; self.w2.value.len()];
+        let mut gb2 = vec![0.0f32; 1];
+
+        for _epoch in 0..config.epochs {
+            // Fisher-Yates shuffle — same RNG stream as the scalar trainer.
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut epoch_loss = 0.0f32;
+            for chunk in order.chunks(batch) {
+                // Forward the whole batch (parallel over examples; the
+                // parameters are frozen within a batch, so each forward is
+                // independent and the results match the scalar interleaving).
+                let fwd: Vec<(Vec<f32>, f32)> = chunk
+                    .par_iter()
+                    .map(|&idx| self.forward(rows[idx]))
+                    .collect();
+                // Weighted `dL/dlogit` per example, plus the serial loss and
+                // `b2` accumulations (scalar-order f32 sums).
+                gb2[0] = 0.0;
+                let mut chunk_weight = 0.0f32;
+                let mut wdlogits = Vec::with_capacity(chunk.len());
+                for (&idx, (_, p)) in chunk.iter().zip(fwd.iter()) {
+                    let y = labels[idx];
+                    let w = weights[idx];
+                    let p_clamped = p.clamp(1e-7, 1.0 - 1e-7);
+                    epoch_loss +=
+                        w * -(y * p_clamped.ln() + (1.0 - y) * (1.0 - p_clamped).ln());
+                    let wdlogit = w * (p - y);
+                    gb2[0] += wdlogit;
+                    chunk_weight += w;
+                    wdlogits.push(wdlogit);
+                }
+                // Backward, parallel over hidden units: unit `j` owns
+                // `gb1[j]`, `gw2[j]` and `gw1` row `j`, and accumulates over
+                // the batch in example order — exactly the scalar trainer's
+                // addition order for that location.
+                let per_unit: Vec<(f32, f32)> = (0..self.hidden)
+                    .into_par_iter()
+                    .map(|j| {
+                        let mut gb1_j = 0.0f32;
+                        let mut gw2_j = 0.0f32;
+                        for ((h, _), &wdlogit) in fwd.iter().zip(wdlogits.iter()) {
+                            gw2_j += wdlogit * h[j];
+                            if h[j] > 0.0 {
+                                gb1_j += wdlogit * self.w2.value[j];
+                            }
+                        }
+                        (gb1_j, gw2_j)
+                    })
+                    .collect();
+                for (j, (gb1_j, gw2_j)) in per_unit.into_iter().enumerate() {
+                    gb1[j] = gb1_j;
+                    gw2[j] = gw2_j;
+                }
+                let input_dim = self.input_dim;
+                let w2 = &self.w2.value;
+                gw1.par_chunks_mut(input_dim)
+                    .enumerate()
+                    .for_each(|(j, grad_row)| {
+                        grad_row.iter_mut().for_each(|g| *g = 0.0);
+                        for (&idx, ((h, _), &wdlogit)) in
+                            chunk.iter().zip(fwd.iter().zip(wdlogits.iter()))
+                        {
+                            if h[j] <= 0.0 {
+                                continue;
+                            }
+                            let dh = wdlogit * w2[j];
+                            for (g, &xi) in grad_row.iter_mut().zip(rows[idx].iter()) {
+                                *g += dh * xi;
+                            }
+                        }
+                    });
+                let scale = 1.0 / chunk_weight;
+                gw1.iter_mut().for_each(|g| *g *= scale);
+                gb1.iter_mut().for_each(|g| *g *= scale);
+                gw2.iter_mut().for_each(|g| *g *= scale);
+                gb2[0] *= scale;
+                self.steps += 1;
+                let t = self.steps;
+                self.w1
+                    .adam_step(&gw1, config.learning_rate, t, config.weight_decay);
+                self.b1.adam_step(&gb1, config.learning_rate, t, 0.0);
+                self.w2
+                    .adam_step(&gw2, config.learning_rate, t, config.weight_decay);
+                self.b2.adam_step(&gb2, config.learning_rate, t, 0.0);
+            }
+            last_epoch_loss = epoch_loss / total_weight;
+        }
+        last_epoch_loss
+    }
+
+    /// Predicted probabilities for a batch of rows (parallel over rows; each
+    /// forward is independent, so the results are identical to calling
+    /// [`Mlp::predict_proba`] per row).
+    pub fn predict_proba_batch(&self, rows: &[&[f32]]) -> Vec<f32> {
+        rows.par_iter().map(|row| self.forward(row).1).collect()
+    }
+
+    /// Convenience: constructs and trains an MLP in one call through the
+    /// batched fast path (bit-identical to training with [`Mlp::train`]).
     pub fn fit(rows: &[&[f32]], labels: &[f32], config: &MlpConfig) -> Mlp {
         let input_dim = rows.first().map(|r| r.len()).unwrap_or(0);
         let mut mlp = Mlp::new(input_dim, config);
-        mlp.train(rows, labels, config);
+        mlp.train_batched(rows, labels, config);
+        mlp
+    }
+
+    /// Constructs and trains a weighted MLP in one call (the detector's
+    /// dedup-weighted entry point).
+    pub fn fit_weighted(rows: &[&[f32]], labels: &[f32], weights: &[f32], config: &MlpConfig) -> Mlp {
+        let input_dim = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut mlp = Mlp::new(input_dim, config);
+        mlp.train_weighted(rows, labels, weights, config);
         mlp
     }
 }
@@ -350,5 +516,121 @@ mod tests {
         let rows = [vec![1.0f32]];
         let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
         let _ = mlp.train(&refs, &[], &MlpConfig::default());
+    }
+
+    fn messy_data(n: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
+        // Non-integer values: exercises real f32 arithmetic, not just the
+        // exact-sum regime.
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                vec![
+                    (i % 17) as f32 * 0.37 - 2.1,
+                    ((i * 13) % 29) as f32 * 0.11,
+                    if i % 3 == 0 { -0.5 } else { 1.25 },
+                ]
+            })
+            .collect();
+        let labels: Vec<f32> = (0..n).map(|i| ((i * 7) % 5 < 2) as u8 as f32).collect();
+        (rows, labels)
+    }
+
+    /// The batched trainer must produce bit-identical parameters (hence
+    /// predictions) to the scalar oracle — including across multiple batches
+    /// and a ragged final chunk.
+    #[test]
+    fn batched_training_is_bit_identical_to_scalar() {
+        let (rows, labels) = messy_data(203);
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let config = MlpConfig {
+            hidden: 8,
+            epochs: 5,
+            batch_size: 32,
+            seed: 9,
+            ..Default::default()
+        };
+        let mut scalar = Mlp::new(3, &config);
+        let scalar_loss = scalar.train(&refs, &labels, &config);
+        let mut batched = Mlp::new(3, &config);
+        let batched_loss = batched.train_batched(&refs, &labels, &config);
+        assert_eq!(scalar_loss.to_bits(), batched_loss.to_bits());
+        assert_eq!(scalar.w1.value, batched.w1.value);
+        assert_eq!(scalar.b1.value, batched.b1.value);
+        assert_eq!(scalar.w2.value, batched.w2.value);
+        assert_eq!(scalar.b2.value, batched.b2.value);
+        for row in &refs {
+            assert_eq!(
+                scalar.predict_proba(row).to_bits(),
+                batched.predict_proba(row).to_bits()
+            );
+        }
+    }
+
+    /// Unit weights must reduce `train_weighted` to `train_batched` exactly.
+    #[test]
+    fn unit_weights_are_bit_identical_to_unweighted() {
+        let (rows, labels) = messy_data(97);
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let config = MlpConfig {
+            hidden: 6,
+            epochs: 4,
+            batch_size: 16,
+            seed: 4,
+            ..Default::default()
+        };
+        let mut unweighted = Mlp::new(3, &config);
+        unweighted.train_batched(&refs, &labels, &config);
+        let mut weighted = Mlp::new(3, &config);
+        weighted.train_weighted(&refs, &labels, &vec![1.0; refs.len()], &config);
+        assert_eq!(unweighted.w1.value, weighted.w1.value);
+        assert_eq!(unweighted.w2.value, weighted.w2.value);
+        assert_eq!(unweighted.b1.value, weighted.b1.value);
+        assert_eq!(unweighted.b2.value, weighted.b2.value);
+    }
+
+    /// Weighted training still learns: duplicating a class via weights keeps
+    /// the separable problem learnable.
+    #[test]
+    fn weighted_training_learns_linearly_separable_data() {
+        let rows: Vec<Vec<f32>> = (0..120)
+            .map(|i| vec![(i % 20) as f32 / 20.0, ((i * 7) % 13) as f32 / 13.0])
+            .collect();
+        let labels: Vec<f32> = rows
+            .iter()
+            .map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
+        let weights: Vec<f32> = labels.iter().map(|&y| if y > 0.5 { 3.0 } else { 1.0 }).collect();
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mlp = Mlp::fit_weighted(
+            &refs,
+            &labels,
+            &weights,
+            &MlpConfig {
+                epochs: 150,
+                learning_rate: 5e-3,
+                ..Default::default()
+            },
+        );
+        let correct = rows
+            .iter()
+            .zip(labels.iter())
+            .filter(|(r, &y)| mlp.predict(r) == (y > 0.5))
+            .count();
+        assert!(correct >= 110, "only {correct}/120 correct");
+    }
+
+    /// The parallel batch prediction must match per-row prediction bitwise.
+    #[test]
+    fn batch_prediction_matches_per_row() {
+        let (rows, labels) = messy_data(64);
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mlp = Mlp::fit(&refs, &labels, &MlpConfig {
+            hidden: 5,
+            epochs: 3,
+            ..Default::default()
+        });
+        let batch = mlp.predict_proba_batch(&refs);
+        for (row, &p) in refs.iter().zip(batch.iter()) {
+            assert_eq!(mlp.predict_proba(row).to_bits(), p.to_bits());
+        }
     }
 }

@@ -49,6 +49,56 @@ impl StandardScaler {
         }
     }
 
+    /// Fits the scaler with a positive weight per row: moments are weighted
+    /// means, as if row `i` appeared `weights[i]` times. With unit weights
+    /// this is bit-identical to [`StandardScaler::fit`] (each accumulation
+    /// multiplies by exactly `1.0`, and the weight total sums `1.0` per row
+    /// in f64 — exact); it lets the detector fit on deduplicated feature
+    /// rows weighted by multiplicity. Panics if `rows` is empty, ragged, or
+    /// misaligned with `weights`.
+    pub fn fit_weighted(rows: &[&[f32]], weights: &[f32]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler on zero rows");
+        assert_eq!(rows.len(), weights.len(), "rows and weights must align");
+        debug_assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        let dim = rows[0].len();
+        let mut total = 0.0f64;
+        let mut means = vec![0.0f64; dim];
+        for (row, &w) in rows.iter().zip(weights.iter()) {
+            assert_eq!(row.len(), dim, "ragged feature rows");
+            let wf = w as f64;
+            total += wf;
+            for (m, &x) in means.iter_mut().zip(row.iter()) {
+                *m += wf * (x as f64);
+            }
+        }
+        for m in means.iter_mut() {
+            *m /= total;
+        }
+        let mut vars = vec![0.0f64; dim];
+        for (row, &w) in rows.iter().zip(weights.iter()) {
+            let wf = w as f64;
+            for ((v, &x), m) in vars.iter_mut().zip(row.iter()).zip(means.iter()) {
+                let d = x as f64 - m;
+                *v += wf * (d * d);
+            }
+        }
+        let stds: Vec<f32> = vars
+            .iter()
+            .map(|&v| {
+                let s = (v / total).sqrt();
+                if s < 1e-8 {
+                    1.0
+                } else {
+                    s as f32
+                }
+            })
+            .collect();
+        Self {
+            means: means.into_iter().map(|m| m as f32).collect(),
+            stds,
+        }
+    }
+
     /// Number of feature dimensions.
     pub fn dim(&self) -> usize {
         self.means.len()
@@ -117,5 +167,39 @@ mod tests {
     fn empty_fit_panics() {
         let rows: Vec<&[f32]> = Vec::new();
         let _ = StandardScaler::fit(&rows);
+    }
+
+    /// Unit weights must reproduce the unweighted fit bit-for-bit.
+    #[test]
+    fn unit_weighted_fit_is_bit_identical() {
+        let data: Vec<Vec<f32>> = (0..50)
+            .map(|i| vec![(i % 7) as f32 * 0.93 - 1.7, (i % 11) as f32 * 3.14])
+            .collect();
+        let rows: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let plain = StandardScaler::fit(&rows);
+        let weighted = StandardScaler::fit_weighted(&rows, &vec![1.0; rows.len()]);
+        assert_eq!(plain.means, weighted.means);
+        assert_eq!(plain.stds, weighted.stds);
+    }
+
+    /// Integer weights must equal fitting on the expanded row set. The data
+    /// is integer-valued and the weights sum to a power of two, so every
+    /// intermediate (weighted sums, means, centred squares) is exact in f64
+    /// — both paths then compute the same exact value and agree bitwise.
+    #[test]
+    fn integer_weights_match_expanded_rows_on_integer_data() {
+        let unique = [vec![1.0f32, -4.0], vec![2.0, 0.0], vec![7.0, 3.0]];
+        let weights = [3.0f32, 1.0, 4.0];
+        let urows: Vec<&[f32]> = unique.iter().map(|r| r.as_slice()).collect();
+        let weighted = StandardScaler::fit_weighted(&urows, &weights);
+        let mut expanded: Vec<&[f32]> = Vec::new();
+        for (row, &w) in urows.iter().zip(weights.iter()) {
+            for _ in 0..w as usize {
+                expanded.push(row);
+            }
+        }
+        let plain = StandardScaler::fit(&expanded);
+        assert_eq!(plain.means, weighted.means);
+        assert_eq!(plain.stds, weighted.stds);
     }
 }
