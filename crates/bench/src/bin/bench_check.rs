@@ -1,0 +1,257 @@
+//! `bench_check` — the perf-ledger regression gate.
+//!
+//! Diffs the stage breakdowns of two `BENCH_runtime.json` ledgers — the
+//! committed baseline and a freshly generated candidate — and classifies
+//! every stage's drift:
+//!
+//! * **OK** — the stage's share of root wall-time moved less than ±30%
+//!   (ratio within `[1/1.3, 1.3]`).
+//! * **WARN** — the share moved more than ±30% but less than 2x either way,
+//!   or a stage carrying ≥1% of the wall appears in only one ledger.
+//! * **FAIL** — the share more than doubled or more than halved
+//!   (`ratio > 2` or `< 0.5`); the gate exits non-zero.
+//!
+//! Shares (stage wall ÷ root wall within the same run block) are compared
+//! rather than absolute milliseconds so the gate is meaningful across
+//! machines and row counts: a stage that regresses relative to its
+//! neighbours is flagged even if the whole run got faster. Stages below 1%
+//! share in *both* ledgers are skipped — their timing is noise. Parallel
+//! stages report CPU-sum wall, so shares can legitimately exceed 100%;
+//! ratios are still comparable because both sides measure the same way.
+//!
+//! ```text
+//! cargo run --release -p zeroed-bench --bin bench_check -- /tmp/BENCH_fresh.json
+//! cargo run --release -p zeroed-bench --bin bench_check -- baseline.json fresh.json
+//! ```
+//!
+//! With one path the committed `BENCH_runtime.json` in the working directory
+//! is the baseline. Run blocks are matched by their `dataset` name across
+//! the `runs` and `shapes` sections; a dataset present in only one ledger is
+//! reported and skipped (the quick and full ledgers legitimately cover
+//! different sets).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use zeroed_bench::minijson::Json;
+
+/// Share of a run's root wall below which a stage is treated as noise.
+const NOISE_SHARE: f64 = 0.01;
+/// OK band: the fresh/baseline share ratio may move ±30%.
+const WARN_RATIO: f64 = 1.3;
+/// FAIL band: a doubling or halving of the share is a hard regression.
+const FAIL_RATIO: f64 = 2.0;
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Verdict {
+    Ok,
+    Warn,
+    Fail,
+}
+
+impl Verdict {
+    fn label(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Warn => "WARN",
+            Verdict::Fail => "FAIL",
+        }
+    }
+}
+
+/// One run block's stages, flattened to `path -> share of root wall`.
+struct FlatRun {
+    dataset: String,
+    stages: BTreeMap<String, f64>,
+}
+
+fn flatten_stage(node: &Json, prefix: &str, root_wall: f64, out: &mut BTreeMap<String, f64>) {
+    let name = node.get("name").and_then(Json::as_str).unwrap_or("?");
+    let wall = node.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+    let path = if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}/{name}")
+    };
+    if root_wall > 0.0 {
+        out.insert(path.clone(), wall / root_wall);
+    }
+    if let Some(children) = node.get("children").and_then(Json::as_arr) {
+        for child in children {
+            flatten_stage(child, &path, root_wall, out);
+        }
+    }
+}
+
+/// Walks the whole ledger collecting every object that carries both a
+/// `dataset` name and a `stage_breakdown` tree (the `runs` and `shapes`
+/// sections), so the gate covers new sections automatically.
+fn collect_runs(doc: &Json, out: &mut Vec<FlatRun>) {
+    match doc {
+        Json::Obj(members) => {
+            if let (Some(dataset), Some(breakdown)) = (
+                doc.get("dataset").and_then(Json::as_str),
+                doc.get("stage_breakdown"),
+            ) {
+                let root_wall = breakdown.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+                let mut stages = BTreeMap::new();
+                flatten_stage(breakdown, "", root_wall, &mut stages);
+                out.push(FlatRun {
+                    dataset: dataset.to_string(),
+                    stages,
+                });
+            }
+            for (_, v) in members {
+                collect_runs(v, out);
+            }
+        }
+        Json::Arr(items) => {
+            for v in items {
+                collect_runs(v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn load_ledger(path: &str) -> Result<Vec<FlatRun>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut runs = Vec::new();
+    collect_runs(&doc, &mut runs);
+    if runs.is_empty() {
+        return Err(format!("{path}: no dataset blocks with a stage_breakdown"));
+    }
+    Ok(runs)
+}
+
+fn classify(base: Option<f64>, fresh: Option<f64>) -> (Verdict, f64, String) {
+    match (base, fresh) {
+        (Some(b), Some(f)) => {
+            let ratio = if b > 0.0 { f / b } else { f64::INFINITY };
+            let verdict = if !(1.0 / FAIL_RATIO..=FAIL_RATIO).contains(&ratio) {
+                Verdict::Fail
+            } else if !(1.0 / WARN_RATIO..=WARN_RATIO).contains(&ratio) {
+                Verdict::Warn
+            } else {
+                Verdict::Ok
+            };
+            (verdict, ratio, String::new())
+        }
+        // A stage carrying real weight in only one ledger is suspicious but
+        // not a hard failure: renames and new instrumentation land here.
+        (Some(_), None) => (Verdict::Warn, 0.0, "stage missing from fresh ledger".into()),
+        (None, Some(_)) => (Verdict::Warn, f64::INFINITY, "stage new in fresh ledger".into()),
+        (None, None) => unreachable!("stage came from the union of both ledgers"),
+    }
+}
+
+fn pct(share: Option<f64>) -> String {
+    match share {
+        Some(s) => format!("{:6.2}%", s * 100.0),
+        None => "     --".into(),
+    }
+}
+
+fn check_dataset(base: &FlatRun, fresh: &FlatRun) -> Verdict {
+    println!("\n== {} ==", base.dataset);
+    println!(
+        "{:<44} {:>8} {:>8} {:>7}  {}",
+        "stage", "base", "fresh", "ratio", "verdict"
+    );
+    let mut worst = Verdict::Ok;
+    let mut paths: Vec<&String> = base.stages.keys().chain(fresh.stages.keys()).collect();
+    paths.sort();
+    paths.dedup();
+    for path in paths {
+        let b = base.stages.get(path).copied();
+        let f = fresh.stages.get(path).copied();
+        // Noise floor: ignore stages that are tiny on both sides.
+        if b.unwrap_or(0.0) < NOISE_SHARE && f.unwrap_or(0.0) < NOISE_SHARE {
+            continue;
+        }
+        let (verdict, ratio, note) = classify(b, f);
+        worst = worst.max(verdict);
+        let ratio_text = if ratio.is_finite() {
+            format!("{ratio:6.2}x")
+        } else {
+            "    inf".into()
+        };
+        let suffix = if note.is_empty() {
+            String::new()
+        } else {
+            format!("  ({note})")
+        };
+        println!(
+            "{:<44} {} {} {}  {}{}",
+            path,
+            pct(b),
+            pct(f),
+            ratio_text,
+            verdict.label(),
+            suffix
+        );
+    }
+    worst
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, fresh_path) = match args.as_slice() {
+        [fresh] => ("BENCH_runtime.json".to_string(), fresh.clone()),
+        [baseline, fresh] => (baseline.clone(), fresh.clone()),
+        _ => {
+            eprintln!("usage: bench_check [<baseline.json>] <fresh.json>");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (baseline, fresh) = match (load_ledger(&baseline_path), load_ledger(&fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for err in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("bench_check: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    println!("bench_check: {baseline_path} (baseline) vs {fresh_path} (fresh)");
+    let mut worst = Verdict::Ok;
+    let mut compared = 0usize;
+    for base_run in &baseline {
+        match fresh.iter().find(|r| r.dataset == base_run.dataset) {
+            Some(fresh_run) => {
+                compared += 1;
+                worst = worst.max(check_dataset(base_run, fresh_run));
+            }
+            None => println!(
+                "\n== {} == only in baseline ledger; skipped",
+                base_run.dataset
+            ),
+        }
+    }
+    for fresh_run in &fresh {
+        if !baseline.iter().any(|r| r.dataset == fresh_run.dataset) {
+            println!(
+                "\n== {} == only in fresh ledger; skipped",
+                fresh_run.dataset
+            );
+        }
+    }
+    if compared == 0 {
+        eprintln!("bench_check: the ledgers share no datasets");
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "\nbench_check: {} ({} dataset{} compared)",
+        worst.label(),
+        compared,
+        if compared == 1 { "" } else { "s" }
+    );
+    match worst {
+        Verdict::Fail => ExitCode::FAILURE,
+        _ => ExitCode::SUCCESS,
+    }
+}

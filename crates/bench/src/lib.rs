@@ -39,13 +39,23 @@
 //!   including the sharded-concurrent-writers experiment (K detector
 //!   handles sharing one store root). Hard assertions gate every section:
 //!   masks bit-identical, warm runs issue zero LLM requests, hedging
-//!   recovers ≥1.5x p99, concurrent+cache ≥2x sequential.
+//!   recovers ≥1.5x p99, concurrent+cache ≥2x sequential. With `--trace`
+//!   it additionally runs the flight-recorder conformance suite and embeds
+//!   a `trace` section (per-mode event counts, exporter validation,
+//!   recorder overhead).
+//!
+//! The `bench_check` binary is the regression gate over those ledgers: it
+//! diffs a freshly generated `BENCH_runtime.json` against the committed one
+//! stage-by-stage (share of root wall-time, so absolute machine speed
+//! cancels out), warns outside a ±30% band and fails hard past 2x. The
+//! [`minijson`] module is its dependency-free JSON reader.
 //!
 //! Criterion micro-benchmarks for individual stages live under `benches/`
 //! (`cargo bench --no-run` compiles them in tier-1).
 
 pub mod harness;
 pub mod methods;
+pub mod minijson;
 pub mod tablefmt;
 
 pub use harness::{parse_args, prepared_dataset, HarnessArgs, PreparedDataset};

@@ -44,7 +44,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zeroed_features::{FeatureBuilder, FeatureConfig};
 use zeroed_llm::{AttributeContext, LlmClient};
-use zeroed_obs::{Profiler, StageProfile};
+use zeroed_obs::{EventKind, Profiler, StageProfile, TraceId, TraceRecorder};
 use zeroed_runtime::{CachedLlm, ExecMode, ResponseCache, RouterLlm, Scheduler, StoreLayer};
 use zeroed_table::{ErrorMask, Table};
 
@@ -149,6 +149,22 @@ impl ZeroEd {
     /// client, persisted stores always hold repaired responses and warm
     /// starts replay them bit-identically with zero requests.
     pub fn detect(&self, dirty: &Table, llm: &dyn LlmClient) -> DetectionOutcome {
+        // One flight recorder per run, seeded with the config seed so trace
+        // ids are stable across execution modes (same request key + same
+        // nonce → same [`TraceId`] whether the run is sequential, concurrent
+        // or routed).
+        let recorder = TraceRecorder::new(self.config.seed);
+        self.detect_recorded(dirty, llm, &recorder)
+    }
+
+    /// [`ZeroEd::detect`] with a caller-supplied flight recorder (so routed
+    /// runs can pre-install the same recorder on the router).
+    fn detect_recorded(
+        &self,
+        dirty: &Table,
+        llm: &dyn LlmClient,
+        recorder: &Arc<TraceRecorder>,
+    ) -> DetectionOutcome {
         // One profiler per run: the five pipeline steps record sequential
         // stage spans under the root, while the repair ladder, the
         // scheduler, the response cache and the store graft *parallel*
@@ -156,20 +172,34 @@ impl ZeroEd {
         // cache-lifetime sums, not coordinating-thread wall time).
         let profiler = Profiler::new("detect");
         let repairing = repair::RepairLlm::new(llm, self.config.reask_budget)
-            .with_span(profiler.root().child_parallel("repair"));
+            .with_span(profiler.root().child_parallel("repair"))
+            .with_recorder(Arc::clone(recorder));
         let mut outcome = match self.config.runtime.mode {
             ExecMode::Sequential => self.detect_sequential(dirty, &repairing, &profiler),
             ExecMode::Concurrent if self.config.runtime.cache => {
-                let mut cached =
-                    CachedLlm::for_table(&repairing, Arc::clone(&self.cache), dirty);
+                let mut cached = CachedLlm::for_table(&repairing, Arc::clone(&self.cache), dirty)
+                    .with_recorder(Arc::clone(recorder));
                 // A fresh sink per run: its counters attribute write-through
                 // activity to this run alone, even when cloned detectors
                 // share the layer and persist concurrently.
-                let sink = self.store.as_ref().map(|layer| layer.sink());
+                let sink = self
+                    .store
+                    .as_ref()
+                    .map(|layer| layer.sink().with_recorder(Arc::clone(recorder)));
                 if let Some(sink) = &sink {
                     cached = cached.with_persistence(sink.clone());
                 }
-                let mut outcome = self.detect_concurrent(dirty, &cached, &profiler);
+                if self.store.is_some() {
+                    // The preload itself ran at construction (before this
+                    // recorder existed); journal it here so the trace ledger
+                    // carries the warm-start size this run actually saw.
+                    recorder.emit(
+                        TraceId::NONE,
+                        EventKind::StorePreload,
+                        self.store_preloaded as u64,
+                    );
+                }
+                let mut outcome = self.detect_concurrent(dirty, &cached, &profiler, recorder);
                 // Per-adapter counters, not a delta of the shared cache's
                 // global stats: clones of this detector share the cache and
                 // may detect concurrently, and their activity must not leak
@@ -202,9 +232,13 @@ impl ZeroEd {
                 }
                 outcome
             }
-            ExecMode::Concurrent => self.detect_concurrent(dirty, &repairing, &profiler),
+            ExecMode::Concurrent => self.detect_concurrent(dirty, &repairing, &profiler, recorder),
         };
         outcome.stats.repair = repairing.counters();
+        // Summarised after every layer has settled: the store drain above is
+        // the last event producer (its writer thread journals persists), so
+        // the counts below reconcile exactly against the layer stats.
+        outcome.stats.trace = Some(recorder.summary(5));
         if let Some(profile) = outcome.stats.stage_profile.as_mut() {
             // Graft the response-cache and store distributions. Both live
             // longer than one run (clones share the cache; the store is
@@ -272,7 +306,13 @@ impl ZeroEd {
     /// in `crates/runtime/tests/router_conformance.rs`).
     pub fn detect_routed(&self, dirty: &Table, router: &RouterLlm<'_>) -> DetectionOutcome {
         let before = router.stats();
-        let mut outcome = self.detect(dirty, router);
+        // Pre-install the run's flight recorder on the router so its
+        // admission/failover/hedge decisions land in the same journal as the
+        // scheduler, cache, repair and store events.
+        let recorder = TraceRecorder::new(self.config.seed);
+        router.install_recorder(Arc::clone(&recorder));
+        let mut outcome = self.detect_recorded(dirty, router, &recorder);
+        router.clear_recorder();
         let delta_of = |now: u64, then: u64| (now - then) as usize;
         let after = router.stats();
         outcome.stats.router_backends = router.backend_count();
@@ -294,6 +334,7 @@ impl ZeroEd {
         dirty: &Table,
         llm: &dyn LlmClient,
         profiler: &Profiler,
+        recorder: &Arc<TraceRecorder>,
     ) -> DetectionOutcome {
         let config = &self.config;
         let n_rows = dirty.n_rows();
@@ -311,7 +352,7 @@ impl ZeroEd {
 
         let root = profiler.root();
         let t_run = Instant::now();
-        let scheduler = Scheduler::from_config(&config.runtime);
+        let scheduler = Scheduler::from_config(&config.runtime).with_recorder(Arc::clone(recorder));
 
         // ------------------------------------------------------------------
         // Step 1 — feature representation with criteria reasoning (§III-B).

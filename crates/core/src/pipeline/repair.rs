@@ -146,6 +146,11 @@ pub struct RepairLlm<'a> {
     /// (the ladder runs on scheduler workers, so step totals are CPU time
     /// across threads, not coordinating-thread wall time).
     span: Option<zeroed_obs::Span>,
+    /// Optional flight recorder; when set, each ladder outcome journals one
+    /// `repair_*` [`zeroed_obs::TraceEvent`], stamped with the caller's
+    /// current trace scope id (requests resolved through the cache run inside
+    /// a scope; sequential-mode events carry [`zeroed_obs::TraceId::NONE`]).
+    recorder: Option<std::sync::Arc<zeroed_obs::TraceRecorder>>,
 }
 
 impl std::fmt::Debug for RepairLlm<'_> {
@@ -166,6 +171,7 @@ impl<'a> RepairLlm<'a> {
             reask_budget,
             counters: Mutex::new(RepairCounters::default()),
             span: None,
+            recorder: None,
         }
     }
 
@@ -173,6 +179,13 @@ impl<'a> RepairLlm<'a> {
     /// `salvage` and `reask` steps record per-call durations.
     pub fn with_span(mut self, span: zeroed_obs::Span) -> Self {
         self.span = Some(span);
+        self
+    }
+
+    /// Attach a flight recorder: every ladder outcome (`mangled`, `repaired`,
+    /// `reasked`, `defaulted`) journals a matching `repair_*` trace event.
+    pub fn with_recorder(mut self, recorder: std::sync::Arc<zeroed_obs::TraceRecorder>) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -197,6 +210,14 @@ impl<'a> RepairLlm<'a> {
         apply(stage(&mut self.counters.lock().unwrap()));
     }
 
+    /// Journal one ladder outcome into the attached recorder (no-op without
+    /// one), under the caller's current trace scope id.
+    fn journal(&self, kind: zeroed_obs::EventKind) {
+        if let Some(rec) = &self.recorder {
+            rec.emit(zeroed_obs::current_id(), kind, 0);
+        }
+    }
+
     /// The shared repair ladder (module docs): validate → salvage → re-ask →
     /// default. `salvage` returns `Ok` with a value that passes `validate`,
     /// or `Err` handing the unsalvageable value back; `better` decides
@@ -218,10 +239,12 @@ impl<'a> RepairLlm<'a> {
             return raw;
         }
         self.bump(stage, |s| s.mangled += 1);
+        self.journal(zeroed_obs::EventKind::RepairMangled);
         let mut best = match self.time_step("salvage", || salvage(raw)) {
             Ok(fixed) => {
                 debug_assert!(validate(&fixed), "salvage must produce a valid value");
                 self.bump(stage, |s| s.repaired += 1);
+                self.journal(zeroed_obs::EventKind::RepairSalvaged);
                 return fixed;
             }
             Err(raw) => raw,
@@ -235,11 +258,13 @@ impl<'a> RepairLlm<'a> {
             });
             if self.time_step("validate", || validate(&retry)) {
                 self.bump(stage, |s| s.reasked += 1);
+                self.journal(zeroed_obs::EventKind::RepairReasked);
                 return retry;
             }
             match self.time_step("salvage", || salvage(retry)) {
                 Ok(fixed) => {
                     self.bump(stage, |s| s.reasked += 1);
+                    self.journal(zeroed_obs::EventKind::RepairReasked);
                     return fixed;
                 }
                 Err(retry) => {
@@ -250,6 +275,7 @@ impl<'a> RepairLlm<'a> {
             }
         }
         self.bump(stage, |s| s.defaulted += 1);
+        self.journal(zeroed_obs::EventKind::RepairDefaulted);
         default(best)
     }
 }

@@ -122,6 +122,14 @@ pub struct PipelineStats {
     /// checks the whole tree.
     #[serde(default)]
     pub stage_profile: Option<zeroed_obs::StageProfile>,
+    /// Per-request causal trace for the run: exact per-kind event counts,
+    /// ring drop count (0 in every shipped configuration), the journal and
+    /// the slowest request-rooted exemplars. `TraceSummary::verify` checks
+    /// the journal's causality invariants; the bench reconciles its counts
+    /// against the cache / router / repair / store stats with zero
+    /// tolerance.
+    #[serde(default)]
+    pub trace: Option<zeroed_obs::TraceSummary>,
 }
 
 /// The result of running ZeroED on a dirty table.

@@ -107,6 +107,12 @@ pub fn build_criteria(profile: &ColumnProfile, quality: f64) -> CriteriaSet {
             }
         }
         if symbols.len() <= 8 {
+            // Sorted, not hash-order: the symbol list is part of the
+            // criterion's content, and content-addressed request keys (and
+            // with them trace ids) must not vary with `HashSet` iteration
+            // order across runs or processes.
+            let mut symbols: Vec<char> = symbols.into_iter().collect();
+            symbols.sort_unstable();
             set.criteria.push(Criterion::new(
                 format!("is_clean_{name}_charset"),
                 format!("'{name}' values only use the character classes observed in the data"),
@@ -114,7 +120,7 @@ pub fn build_criteria(profile: &ColumnProfile, quality: f64) -> CriteriaSet {
                     letters,
                     digits,
                     whitespace,
-                    symbols: symbols.into_iter().collect(),
+                    symbols,
                 },
             ));
         }

@@ -162,8 +162,14 @@ impl Histogram {
     }
 
     /// Freeze the histogram into a plain value (count/total/max are lifetime;
-    /// quantiles are over the current window).
+    /// quantiles are over the current window). `window_dropped` records how
+    /// many lifetime samples the bounded window has already evicted — when
+    /// non-zero, the quantiles describe only the most recent tail of the
+    /// stream, and downstream serializers flag them as truncated.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // Lock the window before reading the lifetime count so a concurrent
+        // `record_nanos` (count bumped, push pending) cannot make the
+        // eviction estimate go negative.
         let mut sorted: Vec<u64> = self
             .window
             .lock()
@@ -179,13 +185,15 @@ impl Histogram {
             let rank = (q * n as f64).ceil() as usize;
             sorted[rank.clamp(1, n) - 1]
         };
+        let count = self.count.load(Ordering::Relaxed);
         HistogramSnapshot {
-            count: self.count.load(Ordering::Relaxed),
+            count,
             total_nanos: self.total_nanos.load(Ordering::Relaxed),
             max_nanos: self.max_nanos.load(Ordering::Relaxed),
             p50_nanos: pick(0.50),
             p95_nanos: pick(0.95),
             p99_nanos: pick(0.99),
+            window_dropped: count.saturating_sub(sorted.len() as u64),
         }
     }
 }
@@ -205,6 +213,11 @@ pub struct HistogramSnapshot {
     pub p95_nanos: u64,
     /// 99th percentile over the sample window.
     pub p99_nanos: u64,
+    /// Lifetime samples the bounded window had already evicted when the
+    /// snapshot was taken (`count − window len`). When non-zero, the
+    /// quantiles were computed from a truncated window — only the most
+    /// recent samples — and serializers flag them accordingly.
+    pub window_dropped: u64,
 }
 
 impl HistogramSnapshot {
@@ -225,6 +238,7 @@ impl HistogramSnapshot {
                     p95_nanos: self.p95_nanos,
                     p99_nanos: self.p99_nanos,
                     max_nanos: self.max_nanos,
+                    window_dropped: self.window_dropped,
                 })
             } else {
                 None
@@ -270,6 +284,26 @@ mod tests {
         assert_eq!(h.quantile(0.5), Duration::from_millis(200));
         assert_eq!(h.quantile(1.0), Duration::from_millis(400));
         assert_eq!(h.max(), Duration::from_millis(400));
+    }
+
+    #[test]
+    fn snapshot_reports_window_truncation_exactly() {
+        let h = Histogram::with_window(4);
+        for ms in 1..=10u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.window_dropped, 6, "10 samples, window of 4");
+        // Quantiles describe the surviving tail {7,8,9,10} only.
+        assert_eq!(s.p50_nanos, 8_000_000);
+        // An un-truncated histogram reports zero.
+        let full = Histogram::new();
+        full.record(Duration::from_millis(1));
+        assert_eq!(full.snapshot().window_dropped, 0);
+        // The truncation flag flows into the grafted stage node.
+        let stage = h.snapshot().to_stage("execute");
+        assert_eq!(stage.quantiles.unwrap().window_dropped, 6);
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!   semantics the router's quantile tests pin).
 //! * [`MetricsRegistry`] — named [`Counter`]s and [`Gauge`]s with get-or-create
 //!   registration and JSON export.
+//! * [`TraceRecorder`] / [`TraceEvent`] — the per-request causal **flight
+//!   recorder**: deterministic [`TraceId`]s minted from request keys, a
+//!   bounded drop-oldest [`EventRing`] with exact per-kind counts and drop
+//!   accounting, a causality checker ([`check_causality`]) and exporters to
+//!   a JSONL journal and Chrome trace-event format ([`chrome_trace_json`]).
 //!
 //! The crate has **no dependencies** (not even the workspace's vendored
 //! stubs) so every layer — store, runtime, core, bench — can link it without
@@ -43,8 +48,14 @@ mod hist;
 mod json;
 mod metrics;
 mod profile;
+mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot};
 pub use json::{escape_json, fmt_ms};
 pub use metrics::{Counter, Gauge, MetricsRegistry};
 pub use profile::{Profiler, Quantiles, Span, SpanTimer, StageProfile};
+pub use trace::{
+    check_causality, chrome_trace_json, current_id, emit_current, journal_jsonl, request_scope,
+    EventKind, EventRing, TraceEvent, TraceExemplar, TraceId, TraceRecorder, TraceScope,
+    TraceSummary,
+};

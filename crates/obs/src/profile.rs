@@ -79,6 +79,7 @@ impl Node {
                     p95_nanos: s.p95_nanos,
                     p99_nanos: s.p99_nanos,
                     max_nanos: s.max_nanos,
+                    window_dropped: s.window_dropped,
                 })
             }),
             children: children.iter().map(|c| c.snapshot()).collect(),
@@ -217,6 +218,10 @@ pub struct Quantiles {
     pub p99_nanos: u64,
     /// Maximum.
     pub max_nanos: u64,
+    /// Samples the bounded quantile window had evicted when the snapshot was
+    /// taken. Non-zero means p50/p95/p99 describe only the most recent tail
+    /// of the distribution; the JSON and table renderers flag this.
+    pub window_dropped: u64,
 }
 
 /// A frozen span tree: one node's accumulated wall time, invocation count
@@ -340,6 +345,11 @@ impl StageProfile {
                 fmt_ms(q.p99_nanos),
                 fmt_ms(q.max_nanos)
             ));
+            if q.window_dropped > 0 {
+                // Truncated-window honesty: the quantiles above were computed
+                // from the most recent samples only.
+                out.push_str(&format!(", \"window_dropped\": {}", q.window_dropped));
+            }
         }
         if !self.children.is_empty() {
             out.push_str(", \"children\": [");
@@ -407,8 +417,11 @@ impl StageProfile {
         let name = format!("{}{}{}", "  ".repeat(depth), self.name, marker);
         let pct = format!("{:.1}", self.wall_nanos as f64 * 100.0 / root_nanos as f64);
         let quant = match &self.quantiles {
+            // `~` marks quantiles computed from a truncated sample window
+            // (only the most recent samples survived).
             Some(q) => format!(
-                "{}/{}/{}",
+                "{}{}/{}/{}",
+                if q.window_dropped > 0 { "~" } else { "" },
                 fmt_ms(q.p50_nanos),
                 fmt_ms(q.p95_nanos),
                 fmt_ms(q.p99_nanos)

@@ -90,6 +90,7 @@ fn stage_profile_serialization_golden() {
         p95_nanos: 19_500_000,
         p99_nanos: 21_000_000,
         max_nanos: 22_000_000,
+        window_dropped: 0,
     });
     let mut labeling = StageProfile::leaf("labeling", Duration::from_millis(30), 1);
     labeling.children.push(dist);

@@ -1,0 +1,173 @@
+//! Flight-recorder conformance: the journal's exactness guarantees under
+//! concurrency and overflow, and the exporters' byte-stable output.
+//!
+//! 1. **Exact counts under contention** — 8 writer threads hammering one
+//!    recorder lose nothing: per-kind counters equal exactly what was
+//!    emitted, and `survivors + dropped == recorded`.
+//! 2. **Overflow exactness** — a deliberately tiny ring evicts
+//!    oldest-first and reports the evicted count exactly, while the per-kind
+//!    counters stay unaffected.
+//! 3. **Byte-pinned exporters** — the JSONL journal and the Chrome
+//!    trace-event export of a fixed event stream are pinned byte-for-byte,
+//!    so any accidental format drift (a tool-breaking change for Perfetto
+//!    or downstream `jq` pipelines) fails loudly.
+
+use std::sync::Arc;
+use std::thread;
+use zeroed_obs::{
+    check_causality, chrome_trace_json, journal_jsonl, EventKind, TraceEvent, TraceId,
+    TraceRecorder,
+};
+
+#[test]
+fn eight_writers_lose_nothing() {
+    let recorder = TraceRecorder::new(99);
+    let writers = 8usize;
+    let per_writer = 5_000u64;
+    thread::scope(|s| {
+        for w in 0..writers {
+            let rec = Arc::clone(&recorder);
+            s.spawn(move || {
+                for i in 0..per_writer {
+                    let trace = TraceId::from_key((w as u128) << 64 | i as u128, rec.nonce());
+                    rec.emit(trace, EventKind::CacheHit, i);
+                    rec.emit(trace, EventKind::RepairMangled, 0);
+                }
+            });
+        }
+    });
+    let expected = writers as u64 * per_writer;
+    assert_eq!(recorder.count(EventKind::CacheHit), expected);
+    assert_eq!(recorder.count(EventKind::RepairMangled), expected);
+    assert_eq!(recorder.count(EventKind::CacheMiss), 0);
+
+    let summary = recorder.summary(3);
+    assert_eq!(summary.recorded(), 2 * expected);
+    assert_eq!(
+        summary.events.len() as u64 + summary.dropped_events,
+        2 * expected,
+        "every emission is either in the ring or counted as dropped"
+    );
+    // 80k events fit in the default 128Ki-slot ring: nothing dropped, and
+    // the survivors are totally ordered by timestamp.
+    assert_eq!(summary.dropped_events, 0);
+    assert!(summary
+        .events
+        .windows(2)
+        .all(|w| w[0].t_nanos <= w[1].t_nanos));
+}
+
+#[test]
+fn overflow_reports_evictions_exactly_and_keeps_the_newest() {
+    let recorder = TraceRecorder::with_capacity(7, 64);
+    for i in 0..1_000u64 {
+        recorder.emit(TraceId::from_key(i as u128, 7), EventKind::TaskSubmit, i);
+    }
+    assert_eq!(recorder.count(EventKind::TaskSubmit), 1_000);
+    assert_eq!(recorder.dropped(), 1_000 - 64);
+    let events = recorder.events();
+    assert_eq!(events.len(), 64);
+    // Drop-oldest: the survivors are exactly the newest 64, in order.
+    for (i, ev) in events.iter().enumerate() {
+        assert_eq!(ev.arg, (1_000 - 64 + i) as u64);
+    }
+    let summary = recorder.summary(1);
+    assert_eq!(summary.dropped_events, 936);
+    assert!(
+        summary.verify().is_err(),
+        "an incomplete journal must refuse causality verification"
+    );
+}
+
+/// A small fixed stream exercising every exporter feature: two complete
+/// spans on one trace, a nested queue/execute pair, an unmatched open and
+/// standalone instants (one on the NONE trace).
+fn golden_events() -> Vec<TraceEvent> {
+    let t1 = TraceId::from_key(1, 7);
+    let t2 = TraceId::from_key(2, 7);
+    let ev = |t_nanos: u64, trace: TraceId, kind: EventKind, arg: u64| TraceEvent {
+        t_nanos,
+        trace,
+        kind,
+        arg,
+    };
+    vec![
+        ev(100, t1, EventKind::TaskSubmit, 0),
+        ev(250, t1, EventKind::TaskStart, 0),
+        ev(300, t1, EventKind::CacheMiss, 0),
+        ev(400, t2, EventKind::CacheHit, 1),
+        ev(950, t1, EventKind::CachePublish, 0),
+        ev(1_000, t1, EventKind::TaskEnd, 0),
+        ev(1_200, t2, EventKind::CacheMiss, 0),
+        ev(1_500, TraceId::NONE, EventKind::RepairMangled, 3),
+        ev(1_550, TraceId::NONE, EventKind::RepairDefaulted, 3),
+    ]
+}
+
+#[test]
+fn journal_jsonl_is_byte_pinned() {
+    let events = golden_events();
+    let t1 = TraceId::from_key(1, 7).raw();
+    let t2 = TraceId::from_key(2, 7).raw();
+    let expected = format!(
+        concat!(
+            "{{\"t_ns\": 100, \"trace\": \"0x{t1:016x}\", \"kind\": \"task_submit\", \"arg\": 0}}\n",
+            "{{\"t_ns\": 250, \"trace\": \"0x{t1:016x}\", \"kind\": \"task_start\", \"arg\": 0}}\n",
+            "{{\"t_ns\": 300, \"trace\": \"0x{t1:016x}\", \"kind\": \"cache_miss\", \"arg\": 0}}\n",
+            "{{\"t_ns\": 400, \"trace\": \"0x{t2:016x}\", \"kind\": \"cache_hit\", \"arg\": 1}}\n",
+            "{{\"t_ns\": 950, \"trace\": \"0x{t1:016x}\", \"kind\": \"cache_publish\", \"arg\": 0}}\n",
+            "{{\"t_ns\": 1000, \"trace\": \"0x{t1:016x}\", \"kind\": \"task_end\", \"arg\": 0}}\n",
+            "{{\"t_ns\": 1200, \"trace\": \"0x{t2:016x}\", \"kind\": \"cache_miss\", \"arg\": 0}}\n",
+            "{{\"t_ns\": 1500, \"trace\": \"0x0000000000000000\", \"kind\": \"repair_mangled\", \"arg\": 3}}\n",
+            "{{\"t_ns\": 1550, \"trace\": \"0x0000000000000000\", \"kind\": \"repair_defaulted\", \"arg\": 3}}\n",
+        ),
+        t1 = t1,
+        t2 = t2,
+    );
+    assert_eq!(journal_jsonl(&events), expected);
+}
+
+#[test]
+fn chrome_trace_export_is_byte_pinned() {
+    let events = golden_events();
+    let t1 = TraceId::from_key(1, 7).raw();
+    let t2 = TraceId::from_key(2, 7).raw();
+    let (tid1, tid2) = (t1 & 0xffff_ffff, t2 & 0xffff_ffff);
+    let expected = format!(
+        concat!(
+            "[\n",
+            // task_submit@100 → task_start@250: a 0.150us queue span.
+            "{{\"name\": \"task_queue\", \"cat\": \"zeroed\", \"ph\": \"X\", \"ts\": 0.100, \"dur\": 0.150, \"pid\": 1, \"tid\": {tid1}, \"args\": {{\"trace\": \"0x{t1:016x}\", \"arg\": 0}}}},\n",
+            // task_start@250 → task_end@1000: the execute span.
+            "{{\"name\": \"task_execute\", \"cat\": \"zeroed\", \"ph\": \"X\", \"ts\": 0.250, \"dur\": 0.750, \"pid\": 1, \"tid\": {tid1}, \"args\": {{\"trace\": \"0x{t1:016x}\", \"arg\": 0}}}},\n",
+            // cache_miss@300 → cache_publish@950: the compute span.
+            "{{\"name\": \"cache_compute\", \"cat\": \"zeroed\", \"ph\": \"X\", \"ts\": 0.300, \"dur\": 0.650, \"pid\": 1, \"tid\": {tid1}, \"args\": {{\"trace\": \"0x{t1:016x}\", \"arg\": 0}}}},\n",
+            // Unpaired events become instants.
+            "{{\"name\": \"cache_hit\", \"cat\": \"zeroed\", \"ph\": \"i\", \"ts\": 0.400, \"s\": \"t\", \"pid\": 1, \"tid\": {tid2}, \"args\": {{\"trace\": \"0x{t2:016x}\", \"arg\": 1}}}},\n",
+            "{{\"name\": \"cache_miss\", \"cat\": \"zeroed\", \"ph\": \"i\", \"ts\": 1.200, \"s\": \"t\", \"pid\": 1, \"tid\": {tid2}, \"args\": {{\"trace\": \"0x{t2:016x}\", \"arg\": 0}}}},\n",
+            "{{\"name\": \"repair_mangled\", \"cat\": \"zeroed\", \"ph\": \"i\", \"ts\": 1.500, \"s\": \"t\", \"pid\": 1, \"tid\": 0, \"args\": {{\"trace\": \"0x0000000000000000\", \"arg\": 3}}}},\n",
+            "{{\"name\": \"repair_defaulted\", \"cat\": \"zeroed\", \"ph\": \"i\", \"ts\": 1.550, \"s\": \"t\", \"pid\": 1, \"tid\": 0, \"args\": {{\"trace\": \"0x0000000000000000\", \"arg\": 3}}}}\n",
+            "]\n",
+        ),
+        t1 = t1,
+        t2 = t2,
+        tid1 = tid1,
+        tid2 = tid2,
+    );
+    assert_eq!(chrome_trace_json(&events), expected);
+}
+
+#[test]
+fn the_golden_stream_is_causally_consistent() {
+    let mut events = golden_events();
+    // Close t2's miss so end-of-journal publish accounting balances (the
+    // fixture leaves it open on purpose: the Chrome exporter must render an
+    // unmatched open as an instant, not hallucinate a span).
+    events.push(TraceEvent {
+        t_nanos: 1_600,
+        trace: TraceId::from_key(2, 7),
+        kind: EventKind::CachePublish,
+        arg: 0,
+    });
+    check_causality(&events).expect("golden stream must be causally consistent");
+}

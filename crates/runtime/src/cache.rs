@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
-use zeroed_obs::{Histogram, HistogramSnapshot};
+use zeroed_obs::{emit_current, EventKind, Histogram, HistogramSnapshot};
 
 /// A structured LLM response, stored by value so a hit replays the exact
 /// object the wrapped client originally returned.
@@ -371,9 +371,18 @@ impl ResponseCache {
                         drop(map);
                         self.timings.lock_hold.record_nanos(held_nanos);
                         if let Some(t) = park_start {
-                            self.timings.park_wait.record(t.elapsed());
+                            let parked = t.elapsed();
+                            self.timings.park_wait.record(parked);
+                            emit_current(
+                                EventKind::CacheParkWait,
+                                parked.as_nanos().min(u64::MAX as u128) as u64,
+                            );
                         }
                         self.record_hit(&stored, waited);
+                        emit_current(EventKind::CacheHit, 0);
+                        if waited {
+                            emit_current(EventKind::CacheCoalesced, 0);
+                        }
                         return (stored, Lookup::Hit { coalesced: waited });
                     }
                     Slot::InFlight => {
@@ -436,9 +445,15 @@ impl ResponseCache {
         if let Some(t) = park_start {
             // Parked behind a computation that was vacated by a panic; this
             // caller's wait ends here (it recomputes itself below).
-            self.timings.park_wait.record(t.elapsed());
+            let parked = t.elapsed();
+            self.timings.park_wait.record(parked);
+            emit_current(
+                EventKind::CacheParkWait,
+                parked.as_nanos().min(u64::MAX as u128) as u64,
+            );
         }
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        emit_current(EventKind::CacheMiss, 0);
 
         // Release the in-flight claim if `compute` unwinds, so parked waiters
         // wake up and recompute instead of deadlocking.
@@ -496,6 +511,7 @@ impl ResponseCache {
         drop(map);
         self.timings.lock_hold.record_nanos(held_nanos);
         self.published.notify_all();
+        emit_current(EventKind::CachePublish, 0);
         (stored, Lookup::Miss)
     }
 }

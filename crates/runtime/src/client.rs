@@ -26,6 +26,7 @@ use zeroed_llm::{
     count_tokens, prompts, AttributeContext, DistributionAnalysis, Guideline, LlmClient,
     TokenLedger,
 };
+use zeroed_obs::{request_scope, TraceRecorder};
 use zeroed_table::Table;
 
 /// A caching [`LlmClient`] adapter (see module docs).
@@ -36,6 +37,11 @@ pub struct CachedLlm<'a> {
     /// Write-through persistence: misses are offered here (off the hot path)
     /// so later processes can warm-start from the on-disk store.
     persist: Option<StoreSink>,
+    /// Per-request flight recorder. When present, [`CachedLlm::resolve`] mints
+    /// the request's [`zeroed_obs::TraceId`] from its [`RequestKey`] and
+    /// installs a thread-local trace scope around the cache lookup, so every
+    /// layer underneath (cache, router, repair) journals into the same trace.
+    recorder: Option<Arc<TraceRecorder>>,
     /// Activity of *this adapter only*. The shared cache's counters aggregate
     /// every consumer; a detection run reads these instead so its
     /// `PipelineStats` stay correct even when cloned detectors sharing the
@@ -72,6 +78,7 @@ impl<'a> CachedLlm<'a> {
             cache,
             table_fp: table_fingerprint(table),
             persist: None,
+            recorder: None,
             local: LocalCounters::default(),
         }
     }
@@ -82,6 +89,16 @@ impl<'a> CachedLlm<'a> {
     /// warm-start later processes.
     pub fn with_persistence(mut self, sink: StoreSink) -> Self {
         self.persist = Some(sink);
+        self
+    }
+
+    /// Attaches a flight recorder: every request resolved through this
+    /// adapter runs inside a [`zeroed_obs::TraceScope`] whose id is minted
+    /// deterministically from the request's key
+    /// ([`TraceRecorder::trace_for_key`]), so cache, router and repair events
+    /// correlate per logical request across execution modes.
+    pub fn with_recorder(mut self, recorder: Arc<TraceRecorder>) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -124,6 +141,13 @@ impl<'a> CachedLlm<'a> {
         value: impl FnOnce() -> CachedResponse,
         render: impl Fn(&CachedResponse) -> String,
     ) -> Arc<StoredResponse> {
+        // Install the per-request trace scope for the duration of the lookup
+        // (and, on a miss, the wrapped-client computation inside it): the
+        // single choke point every logical request passes through.
+        let _scope = self
+            .recorder
+            .as_ref()
+            .map(|rec| request_scope(rec, rec.trace_for_key(key.to_u128())));
         let (stored, lookup) = self.cache.get_or_compute(key, || {
             let value = value();
             let response = render(&value);

@@ -26,12 +26,22 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+use zeroed_obs::{EventKind, TraceId, TraceRecorder};
 use zeroed_store::{now_epoch, RecoveryReport, ShardedStore, StoreConfig, StoreRecord, StoreStats};
 
 enum Job {
     /// Append one published response, attributing the outcome to the
-    /// offering sink's counters (as well as the layer-wide ones).
-    Write(RequestKey, Arc<StoredResponse>, Arc<Counters>),
+    /// offering sink's counters (as well as the layer-wide ones). Carries the
+    /// offering sink's flight recorder (if any) so the writer thread can
+    /// journal the append under the request's own trace id, re-derived from
+    /// the key — the persist happens off the request thread, where no trace
+    /// scope is installed.
+    Write(
+        RequestKey,
+        Arc<StoredResponse>,
+        Arc<Counters>,
+        Option<Arc<TraceRecorder>>,
+    ),
     /// Wake the barrier's waiter once every job queued before it has been
     /// written (the queue is FIFO, so reaching the barrier implies that).
     Barrier(Arc<Barrier>),
@@ -158,6 +168,9 @@ pub struct StoreSink {
     shared: Arc<Counters>,
     /// This sink's counters (shared only with its clones).
     local: Arc<Counters>,
+    /// Flight recorder for journaling successful appends
+    /// ([`zeroed_obs::EventKind::StorePersist`]).
+    recorder: Option<Arc<TraceRecorder>>,
 }
 
 impl std::fmt::Debug for StoreSink {
@@ -169,6 +182,15 @@ impl std::fmt::Debug for StoreSink {
 }
 
 impl StoreSink {
+    /// Attaches a flight recorder: every response this sink successfully
+    /// persists is journaled as a [`zeroed_obs::EventKind::StorePersist`]
+    /// event on the originating request's trace (id re-derived from the
+    /// request key on the writer thread).
+    pub fn with_recorder(mut self, recorder: Arc<TraceRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Offers one published response for persistence. Never blocks on disk;
     /// returns immediately after enqueueing.
     pub fn offer(&self, key: RequestKey, response: &Arc<StoredResponse>) {
@@ -178,6 +200,7 @@ impl StoreSink {
             key,
             Arc::clone(response),
             Arc::clone(&self.local),
+            self.recorder.clone(),
         )) {
             self.shared.dropped.fetch_add(1, Ordering::Relaxed);
             self.local.dropped.fetch_add(1, Ordering::Relaxed);
@@ -260,7 +283,7 @@ impl StoreLayer {
                 .spawn(move || {
                     while let Some(job) = queue.pop() {
                         match job {
-                            Job::Write(key, response, sink_counters) => {
+                            Job::Write(key, response, sink_counters, recorder) => {
                                 let record = StoreRecord {
                                     key: key.to_u128(),
                                     input_tokens: response.input_tokens as u64,
@@ -275,6 +298,13 @@ impl StoreLayer {
                                         for c in [&counters, &sink_counters] {
                                             c.persisted_records.fetch_add(1, Ordering::Relaxed);
                                             c.persisted_bytes.fetch_add(bytes, Ordering::Relaxed);
+                                        }
+                                        if let Some(rec) = &recorder {
+                                            rec.emit(
+                                                TraceId::from_key(key.to_u128(), rec.nonce()),
+                                                EventKind::StorePersist,
+                                                bytes,
+                                            );
                                         }
                                     }
                                     Err(_) => {
@@ -339,6 +369,7 @@ impl StoreLayer {
             queue: Arc::clone(&self.queue),
             shared: Arc::clone(&self.counters),
             local: Arc::new(Counters::default()),
+            recorder: None,
         }
     }
 

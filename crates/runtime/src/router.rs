@@ -50,8 +50,9 @@
 use crate::key::{RequestKey, RequestKind};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use zeroed_obs::{current_id, EventKind, TraceRecorder};
 use zeroed_criteria::CriteriaSet;
 use zeroed_llm::{
     count_tokens, prompts, AttributeContext, DistributionAnalysis, FaultKind, Guideline,
@@ -276,6 +277,18 @@ impl Drop for BudgetPermit<'_> {
     }
 }
 
+/// How a breaker admits (or refuses) a backend at selection time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admission {
+    /// Breaker closed: freely admissible.
+    Closed,
+    /// Breaker open but the cooldown has elapsed: admissible as a half-open
+    /// probe whose outcome decides whether it closes or re-trips.
+    Probe,
+    /// Breaker open and not yet due: not admissible.
+    Refused,
+}
+
 /// Circuit-breaker state, clocked in routed requests.
 enum BreakerState {
     Closed,
@@ -362,6 +375,10 @@ pub struct RouterLlm<'a> {
     samples: zeroed_obs::Histogram,
     /// Memoised hedge deadline (see [`DeadlineCache`]).
     deadline: Mutex<DeadlineCache>,
+    /// Flight recorder installed for the duration of a traced run
+    /// ([`RouterLlm::install_recorder`]); routing decisions journal into it
+    /// under whatever [`zeroed_obs::TraceId`] the caller's trace scope holds.
+    recorder: Mutex<Option<Arc<TraceRecorder>>>,
 }
 
 impl std::fmt::Debug for RouterLlm<'_> {
@@ -428,6 +445,7 @@ impl<'a> RouterLlm<'a> {
             counters: RouterCounters::default(),
             samples: zeroed_obs::Histogram::with_window(LATENCY_WINDOW),
             deadline: Mutex::new(DeadlineCache::default()),
+            recorder: Mutex::new(None),
         }
     }
 
@@ -444,6 +462,20 @@ impl<'a> RouterLlm<'a> {
     /// Number of registered backends.
     pub fn backend_count(&self) -> usize {
         self.backends.len()
+    }
+
+    /// Installs a flight recorder: every subsequent routed request journals
+    /// its decisions (primary pick, failovers, injected faults, breaker
+    /// trips/probes, hedging, completion) as [`zeroed_obs::TraceEvent`]s,
+    /// stamped with the caller's current trace scope id. Interior-mutable so
+    /// a traced run can attach to a router it only holds by `&`.
+    pub fn install_recorder(&self, recorder: Arc<TraceRecorder>) {
+        *self.recorder.lock().unwrap_or_else(|e| e.into_inner()) = Some(recorder);
+    }
+
+    /// Detaches the recorder installed by [`RouterLlm::install_recorder`].
+    pub fn clear_recorder(&self) {
+        *self.recorder.lock().unwrap_or_else(|e| e.into_inner()) = None;
     }
 
     /// Snapshot of routing activity.
@@ -525,21 +557,24 @@ impl<'a> RouterLlm<'a> {
         value
     }
 
-    /// Whether backend `b` may be selected at request-clock `now`.
-    fn breaker_allows(&self, b: usize, now: u64) -> bool {
+    /// How backend `b`'s breaker admits it at request-clock `now`.
+    fn breaker_admission(&self, b: usize, now: u64) -> Admission {
         let breaker = self.backends[b]
             .breaker
             .lock()
             .unwrap_or_else(|e| e.into_inner());
         match breaker.state {
-            BreakerState::Closed => true,
+            BreakerState::Closed => Admission::Closed,
             // Due-for-probe acts as half-open: admissible again, and the
             // outcome of the probe decides whether it closes or re-trips.
-            BreakerState::Open { until } => now >= until,
+            BreakerState::Open { until } if now >= until => Admission::Probe,
+            BreakerState::Open { .. } => Admission::Refused,
         }
     }
 
-    fn record_failure(&self, b: usize, now: u64) {
+    /// Charges one fault against backend `b`'s breaker. Returns `true` when
+    /// this failure tripped the breaker open (so the caller can journal it).
+    fn record_failure(&self, b: usize, now: u64) -> bool {
         let backend = &self.backends[b];
         let mut breaker = backend.breaker.lock().unwrap_or_else(|e| e.into_inner());
         breaker.consecutive += 1;
@@ -554,6 +589,7 @@ impl<'a> RouterLlm<'a> {
             };
             backend.counters.breaker_trips.fetch_add(1, Ordering::Relaxed);
         }
+        trip
     }
 
     fn record_success(&self, b: usize) {
@@ -578,6 +614,22 @@ impl<'a> RouterLlm<'a> {
         let now = self.counters.requests.fetch_add(1, Ordering::Relaxed);
         let t_start = Instant::now();
 
+        // Flight recording: the routed request journals under whatever trace
+        // scope the caller (usually `CachedLlm::resolve`) installed on this
+        // thread; without a scope the events carry `TraceId::NONE` but still
+        // reconcile count-for-count against `RouterStats`.
+        let rec = self
+            .recorder
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        let trace = current_id();
+        let journal = |kind: EventKind, arg: u64| {
+            if let Some(r) = &rec {
+                r.emit(trace, kind, arg);
+            }
+        };
+
         // Request fingerprint: kind + prompt + hidden-state salt, hashed with
         // the RequestKey scheme. Response-equivalent backends share salts, so
         // backend 0's stands for the request.
@@ -590,12 +642,20 @@ impl<'a> RouterLlm<'a> {
         // Admissible backends in registration order; if every breaker is open
         // and not yet due, fail open over all of them.
         let mut candidates: Vec<usize> = (0..self.backends.len())
-            .filter(|&i| self.breaker_allows(i, now))
+            .filter(|&i| match self.breaker_admission(i, now) {
+                Admission::Closed => true,
+                Admission::Probe => {
+                    journal(EventKind::BreakerProbe, i as u64);
+                    true
+                }
+                Admission::Refused => false,
+            })
             .collect();
         if candidates.is_empty() {
             candidates = (0..self.backends.len()).collect();
         }
         let start = (fp % candidates.len() as u64) as usize;
+        journal(EventKind::RouterPrimary, candidates[start] as u64);
 
         // Deterministic failover walk: skip candidates scheduled to error or
         // time out, charging their breakers (and paying timeout deadlines).
@@ -608,7 +668,11 @@ impl<'a> RouterLlm<'a> {
                 Some(FaultKind::Error) => {
                     backend.counters.faults_error.fetch_add(1, Ordering::Relaxed);
                     self.counters.failovers.fetch_add(1, Ordering::Relaxed);
-                    self.record_failure(b, now);
+                    journal(EventKind::FaultInjected, b as u64);
+                    journal(EventKind::RouterFailover, b as u64);
+                    if self.record_failure(b, now) {
+                        journal(EventKind::BreakerTrip, b as u64);
+                    }
                 }
                 Some(FaultKind::Timeout) => {
                     backend
@@ -617,10 +681,15 @@ impl<'a> RouterLlm<'a> {
                         .fetch_add(1, Ordering::Relaxed);
                     self.counters.failovers.fetch_add(1, Ordering::Relaxed);
                     extra_wait += self.timeout_penalty;
-                    self.record_failure(b, now);
+                    journal(EventKind::FaultInjected, b as u64);
+                    journal(EventKind::RouterFailover, b as u64);
+                    if self.record_failure(b, now) {
+                        journal(EventKind::BreakerTrip, b as u64);
+                    }
                 }
                 Some(FaultKind::SlowTail) => {
                     backend.counters.faults_slow.fetch_add(1, Ordering::Relaxed);
+                    journal(EventKind::FaultInjected, b as u64);
                     chosen = Some((b, true));
                     break;
                 }
@@ -654,6 +723,7 @@ impl<'a> RouterLlm<'a> {
                     Some(FaultKind::Error) | Some(FaultKind::Timeout) => continue,
                     Some(FaultKind::SlowTail) => {
                         backend.counters.faults_slow.fetch_add(1, Ordering::Relaxed);
+                        journal(EventKind::FaultInjected, b as u64);
                         hedge = Some((b, true));
                         break;
                     }
@@ -669,10 +739,12 @@ impl<'a> RouterLlm<'a> {
                     .counters
                     .hedges_fired
                     .fetch_add(1, Ordering::Relaxed);
+                journal(EventKind::HedgeFired, h as u64);
                 if hedge_slow {
                     // The hedge landed in its own slow-tail: the primary
                     // finishes first and the hedge is cancelled.
                     loser = Some(h);
+                    journal(EventKind::HedgeCancelled, h as u64);
                 } else {
                     // The hedge wins; the slow primary is cancelled. The
                     // caller paid the deadline before the hedge fired.
@@ -686,6 +758,7 @@ impl<'a> RouterLlm<'a> {
                         .counters
                         .hedges_won
                         .fetch_add(1, Ordering::Relaxed);
+                    journal(EventKind::HedgeWon, h as u64);
                 }
             }
         }
@@ -739,6 +812,7 @@ impl<'a> RouterLlm<'a> {
         let observed = t_start.elapsed();
         self.samples.record(observed);
         backend.latency.record(observed);
+        journal(EventKind::RouterDone, winner as u64);
         value
     }
 }

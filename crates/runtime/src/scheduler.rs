@@ -11,9 +11,9 @@
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
-use zeroed_obs::{Histogram, HistogramSnapshot};
+use zeroed_obs::{EventKind, Histogram, HistogramSnapshot, TraceId, TraceRecorder};
 
 /// How the pipeline executes its per-attribute work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -238,6 +238,13 @@ pub struct Scheduler {
     counters: Counters,
     queue_wait: Histogram,
     execute: Histogram,
+    /// Per-run flight recorder (see [`Scheduler::with_recorder`]); when set,
+    /// every task journals submit/start/end under a deterministic
+    /// [`TraceId::for_task`] id.
+    recorder: Option<Arc<TraceRecorder>>,
+    /// Numbers each [`Scheduler::run`] fan-out so task trace ids stay unique
+    /// across the many batches one detection runs.
+    fanouts: AtomicU64,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -261,6 +268,8 @@ impl Scheduler {
             counters: Counters::default(),
             queue_wait: Histogram::new(),
             execute: Histogram::new(),
+            recorder: None,
+            fanouts: AtomicU64::new(0),
         }
     }
 
@@ -273,7 +282,18 @@ impl Scheduler {
             counters: Counters::default(),
             queue_wait: Histogram::new(),
             execute: Histogram::new(),
+            recorder: None,
+            fanouts: AtomicU64::new(0),
         }
+    }
+
+    /// Attach a flight recorder: every task emits
+    /// [`EventKind::TaskSubmit`] / [`EventKind::TaskStart`] /
+    /// [`EventKind::TaskEnd`] (`arg` = task index) under a deterministic
+    /// per-task [`TraceId`].
+    pub fn with_recorder(mut self, recorder: Arc<TraceRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Resolved worker-pool size.
@@ -310,13 +330,31 @@ impl Scheduler {
         F: Fn(usize) -> T + Sync,
     {
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        let fanout = self.fanouts.fetch_add(1, Ordering::Relaxed);
+        // Deterministic per-task trace id for this fan-out (no-ops when no
+        // recorder is attached).
+        let task_trace = |i: usize| -> TraceId {
+            match &self.recorder {
+                Some(rec) => TraceId::for_task(rec.nonce(), fanout, i as u64),
+                None => TraceId::NONE,
+            }
+        };
+        let journal = |trace: TraceId, kind: EventKind, i: usize| {
+            if let Some(rec) = &self.recorder {
+                rec.emit(trace, kind, i as u64);
+            }
+        };
         if self.workers <= 1 || n <= 1 {
             self.counters.tasks.fetch_add(n as u64, Ordering::Relaxed);
             return (0..n)
                 .map(|i| {
+                    let trace = task_trace(i);
+                    journal(trace, EventKind::TaskSubmit, i);
+                    journal(trace, EventKind::TaskStart, i);
                     let t = Instant::now();
                     let value = f(i);
                     self.execute.record(t.elapsed());
+                    journal(trace, EventKind::TaskEnd, i);
                     value
                 })
                 .collect();
@@ -340,9 +378,12 @@ impl Scheduler {
                             .saturating_sub(submitted[i].load(Ordering::Relaxed) as u128);
                         self.queue_wait
                             .record_nanos(waited.min(u64::MAX as u128) as u64);
+                        let trace = task_trace(i);
+                        journal(trace, EventKind::TaskStart, i);
                         let t = Instant::now();
                         let value = f(i);
                         self.execute.record(t.elapsed());
+                        journal(trace, EventKind::TaskEnd, i);
                         *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
                         self.counters.tasks.fetch_add(1, Ordering::Relaxed);
                     }
@@ -353,6 +394,7 @@ impl Scheduler {
                     batch_start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
                     Ordering::Relaxed,
                 );
+                journal(task_trace(i), EventKind::TaskSubmit, i);
                 if !queue.push(i) {
                     // A worker panicked and closed the queue; stop producing
                     // and let the scope join rethrow the panic.
@@ -486,6 +528,27 @@ mod tests {
         let _ = inline.run(4, |i| i);
         assert_eq!(inline.timings().execute.count, 4);
         assert_eq!(inline.timings().queue_wait.count, 0);
+    }
+
+    #[test]
+    fn recorder_journals_every_task_exactly_once() {
+        let rec = TraceRecorder::new(5);
+        let s = Scheduler::with_workers(4).with_recorder(Arc::clone(&rec));
+        let _ = s.run(32, |i| i);
+        let _ = s.run(8, |i| i); // second fan-out mints distinct trace ids
+        assert_eq!(rec.count(EventKind::TaskSubmit), 40);
+        assert_eq!(rec.count(EventKind::TaskStart), 40);
+        assert_eq!(rec.count(EventKind::TaskEnd), 40);
+        assert_eq!(rec.dropped(), 0);
+        zeroed_obs::check_causality(&rec.events()).expect("well-formed task stream");
+
+        // The inline fast path journals the same triple.
+        let rec = TraceRecorder::new(5);
+        let inline = Scheduler::with_workers(1).with_recorder(Arc::clone(&rec));
+        let _ = inline.run(4, |i| i);
+        assert_eq!(rec.count(EventKind::TaskSubmit), 4);
+        assert_eq!(rec.count(EventKind::TaskEnd), 4);
+        zeroed_obs::check_causality(&rec.events()).expect("inline stream");
     }
 
     #[test]
