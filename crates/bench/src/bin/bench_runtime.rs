@@ -62,6 +62,12 @@
 //! JSONL; Chrome entries all complete spans or instants) and bounds the
 //! recorder's overhead under the same <2% budget as the profiler.
 //!
+//! Every invocation — `--quick` included — additionally runs the criteria-VM
+//! experiment: the compiled bytecode engine against the AST specification
+//! oracle on hospital criteria, feature matrices and Algorithm-1 verification
+//! outputs asserted identical before the `criteria_vm` ledger block records
+//! the speedups.
+//!
 //! Every detection run carries a hierarchical stage profile
 //! (`PipelineStats::stage_profile`, built by `zeroed-obs`). The emitter
 //! asserts the accounting invariant on **every** run — including `--quick` —
@@ -85,6 +91,7 @@ use zeroed_core::{
     DetectionOutcome, RouterConfig, RouterLlm, RuntimeConfig, StageRepair, StoreConfig, ZeroEd,
     ZeroEdConfig,
 };
+use zeroed_criteria::verify;
 use zeroed_datagen::{generate, DatasetSpec, GenerateOptions};
 use zeroed_llm::{FaultSchedule, LlmClient, LlmProfile, MangleSchedule, SimLlm};
 use zeroed_obs::{
@@ -1094,6 +1101,120 @@ fn trace_section(rows: usize, workers: usize) -> String {
     )
 }
 
+/// The criteria-VM experiment, emitted on **every** run (`--quick` included):
+/// the compiled bytecode engine (`zeroed-criteria::{compile, vm}`) against
+/// the AST specification oracle (`verify::oracle`) on the hospital table's
+/// simulator-derived criteria. Times the full-table feature extraction
+/// (`criteria_features`) and the Algorithm-1 verification pair
+/// (`filter_criteria` + `filter_rows`) on both engines, asserting the
+/// outputs identical — feature matrices cell-for-cell, surviving criteria
+/// and row sets exactly — before any speedup is reported.
+fn criteria_section(rows: usize) -> String {
+    eprintln!("criteria VM experiment: hospital @ {rows} rows ...");
+    let ds = generate(
+        DatasetSpec::Hospital,
+        &GenerateOptions {
+            n_rows: rows,
+            seed: 7,
+            error_spec: None,
+        },
+    );
+    let table = &ds.dirty;
+    let config = ZeroEdConfig::fast();
+    // Criteria come from the same simulator the pipeline uses; latency
+    // sleeps are disabled because only the evaluation engines are timed.
+    let llm = SimLlm::default_model(7).with_latency_scale(0.0);
+    let correlated = zeroed_core::pipeline::features::compute_correlated(table, &config);
+    let criteria =
+        zeroed_core::pipeline::features::generate_criteria(table, &correlated, &config, &llm);
+    let sets: Vec<&zeroed_criteria::CriteriaSet> = criteria.iter().flatten().collect();
+    let n_criteria: usize = sets.iter().map(|s| s.criteria.len()).sum();
+    let dict = table.intern();
+
+    // Full-table feature extraction (the per-cell f_cri blocks).
+    let t = Instant::now();
+    let oracle_features: Vec<Vec<Vec<f32>>> = sets
+        .iter()
+        .map(|set| verify::oracle::criteria_features(set, table))
+        .collect();
+    let features_oracle_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let compiled_features: Vec<Vec<Vec<f32>>> = sets
+        .iter()
+        .map(|set| verify::criteria_features_dict(set, &dict))
+        .collect();
+    let features_compiled_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        oracle_features, compiled_features,
+        "criteria VM: feature matrices diverged from the AST oracle"
+    );
+
+    // Algorithm-1 mutual verification: criterion accuracies over the check
+    // rows, then row pass rates over the survivors (threshold 0.5, the
+    // paper's value; check rows = first 500, as in training_data).
+    let check_rows: Vec<usize> = (0..table.n_rows().min(500)).collect();
+    let threshold = 0.5;
+    let t = Instant::now();
+    let oracle_verified: Vec<_> = sets
+        .iter()
+        .map(|set| {
+            let kept = verify::oracle::filter_criteria(set, table, &check_rows, threshold);
+            let rows = verify::oracle::filter_rows(&kept, table, &check_rows, threshold);
+            (kept, rows)
+        })
+        .collect();
+    let verify_oracle_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let compiled_verified: Vec<_> = sets
+        .iter()
+        .map(|set| {
+            let kept = verify::filter_criteria_dict(set, &dict, &check_rows, threshold);
+            let rows = verify::filter_rows_dict(&kept, &dict, &check_rows, threshold);
+            (kept, rows)
+        })
+        .collect();
+    let verify_compiled_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        oracle_verified, compiled_verified,
+        "criteria VM: Algorithm-1 verification diverged from the AST oracle"
+    );
+
+    let features_speedup = features_oracle_ms / features_compiled_ms.max(1e-9);
+    let verify_speedup = verify_oracle_ms / verify_compiled_ms.max(1e-9);
+    eprintln!(
+        "  criteria_features: oracle {features_oracle_ms:.1} ms | compiled \
+         {features_compiled_ms:.1} ms ({features_speedup:.1}x) | verify: oracle \
+         {verify_oracle_ms:.1} ms | compiled {verify_compiled_ms:.1} ms ({verify_speedup:.1}x)"
+    );
+
+    let mut block = String::new();
+    let _ = writeln!(
+        block,
+        "    \"dataset\": \"hospital\", \"rows\": {}, \"cols\": {}, \
+         \"criteria_total\": {n_criteria},",
+        table.n_rows(),
+        table.n_cols(),
+    );
+    let _ = writeln!(
+        block,
+        "    \"bytecode_version\": {}, \"outputs_identical\": true,",
+        zeroed_criteria::BYTECODE_VERSION
+    );
+    let _ = writeln!(
+        block,
+        "    \"features_oracle_ms\": {features_oracle_ms:.2}, \
+         \"features_compiled_ms\": {features_compiled_ms:.2}, \
+         \"features_speedup\": {features_speedup:.2},"
+    );
+    let _ = write!(
+        block,
+        "    \"verify_oracle_ms\": {verify_oracle_ms:.2}, \
+         \"verify_compiled_ms\": {verify_compiled_ms:.2}, \
+         \"verify_speedup\": {verify_speedup:.2}"
+    );
+    block
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_runtime.json".to_string();
@@ -1282,6 +1403,12 @@ fn main() {
     json.push_str("  \"runs\": [\n");
     json.push_str(&blocks.join(",\n"));
     json.push_str("\n  ]");
+    // Always emitted (like the headline runs): the compiled criteria engine
+    // vs its AST oracle, outputs asserted identical — tier-1 `--quick` runs
+    // guard the equivalence, full runs refresh the ledger's speedups.
+    json.push_str(",\n  \"criteria_vm\": {\n");
+    json.push_str(&criteria_section(rows));
+    json.push_str("\n  }");
     if shapes {
         json.push_str(",\n  \"shapes\": [\n");
         json.push_str(&shapes_section(rows, workers));

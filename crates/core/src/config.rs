@@ -50,6 +50,12 @@ pub struct ZeroEdConfig {
     pub use_verification: bool,
     /// Master seed for clustering, the detector and tie-breaking.
     pub seed: u64,
+    /// Criteria evaluation engine: the compiled bytecode VM (default) or the
+    /// per-cell AST-walking oracle. Both are bit-identical (the differential
+    /// suite in `zeroed-criteria` enforces it); the oracle is retained as the
+    /// specification and for A/B timing in `bench_runtime`.
+    #[serde(default)]
+    pub criteria_engine: CriteriaEngine,
     /// Re-asks the repair layer ([`crate::pipeline::repair::RepairLlm`]) may
     /// issue per corrupted response before falling back to the deterministic
     /// stage default (default 1). Re-ask tokens are booked on the ledger's
@@ -65,6 +71,23 @@ pub struct ZeroEdConfig {
 
 fn default_reask_budget() -> usize {
     1
+}
+
+/// Which engine evaluates error-checking criteria (`zeroed-criteria`).
+///
+/// The two engines are bit-identical by contract — the compiled VM is held
+/// to the AST oracle by `zeroed-criteria`'s differential suite — so this
+/// switch never changes a detection result, only how fast `criteria_features`
+/// and Algorithm-1 mutual verification run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CriteriaEngine {
+    /// Lower each check to bytecode once and evaluate per distinct interned
+    /// value (the default).
+    #[default]
+    Compiled,
+    /// Walk the `Check` AST per cell — the original implementation, kept as
+    /// the specification oracle.
+    AstOracle,
 }
 
 /// Serialisable mirror of [`SamplingMethod`].
@@ -106,6 +129,7 @@ impl Default for ZeroEdConfig {
             use_corr: true,
             use_verification: true,
             seed: 42,
+            criteria_engine: CriteriaEngine::default(),
             reask_budget: default_reask_budget(),
             runtime: RuntimeConfig::default(),
         }
@@ -157,6 +181,20 @@ impl ZeroEdConfig {
     /// The "w/o Veri." ablation of Table IV.
     pub fn without_verification(mut self) -> Self {
         self.use_verification = false;
+        self
+    }
+
+    /// Pins criteria evaluation to the AST-walking specification oracle
+    /// instead of the compiled VM (bit-identical, slower; used for A/B
+    /// timing and belt-and-braces verification runs).
+    pub fn with_criteria_oracle(mut self) -> Self {
+        self.criteria_engine = CriteriaEngine::AstOracle;
+        self
+    }
+
+    /// Selects the criteria evaluation engine explicitly.
+    pub fn with_criteria_engine(mut self, engine: CriteriaEngine) -> Self {
+        self.criteria_engine = engine;
         self
     }
 
@@ -308,6 +346,22 @@ mod tests {
             ..zeroed_runtime::StoreConfig::new("d")
         });
         assert_eq!(custom.runtime.store.unwrap().capacity, 128);
+    }
+
+    #[test]
+    fn criteria_engine_defaults_to_compiled() {
+        let c = ZeroEdConfig::default();
+        assert_eq!(c.criteria_engine, CriteriaEngine::Compiled);
+        assert_eq!(
+            ZeroEdConfig::default().with_criteria_oracle().criteria_engine,
+            CriteriaEngine::AstOracle
+        );
+        assert_eq!(
+            ZeroEdConfig::default()
+                .with_criteria_engine(CriteriaEngine::Compiled)
+                .criteria_engine,
+            CriteriaEngine::Compiled
+        );
     }
 
     #[test]

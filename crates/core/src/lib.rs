@@ -48,7 +48,7 @@ pub mod config;
 pub mod pipeline;
 pub mod report;
 
-pub use config::ZeroEdConfig;
+pub use config::{CriteriaEngine, ZeroEdConfig};
 pub use pipeline::repair::{RepairCounters, RepairLlm, StageRepair};
 pub use pipeline::ZeroEd;
 pub use report::{DetectionOutcome, PipelineStats, StepTimings};

@@ -22,8 +22,9 @@
 //! out per attribute with bit-identical predictions to the sequential loop.
 
 use super::training_data::ColumnTrainingData;
-use crate::config::ZeroEdConfig;
+use crate::config::{CriteriaEngine, ZeroEdConfig};
 use std::collections::HashMap;
+use zeroed_criteria::CompiledSet;
 use zeroed_cluster::DedupPoints;
 use zeroed_features::{FeatureMatrix, FittedFeatures};
 use zeroed_ml::{Mlp, MlpConfig, StandardScaler};
@@ -52,11 +53,23 @@ pub fn train_and_predict(
     // Augmented error examples: featurise the fabricated value in the context
     // of its source row. When criteria features are in use, the fabricated
     // value is re-checked against the column's criteria so the extra block
-    // stays consistent.
+    // stays consistent. On the compiled engine the set is lowered once here
+    // and reused for every augmented example.
+    let compiled_criteria: Option<CompiledSet> = match (config.criteria_engine, &data.criteria) {
+        (CriteriaEngine::Compiled, Some(set)) => Some(zeroed_criteria::compile_set(set)),
+        _ => None,
+    };
     let mut augmented_rows: Vec<Vec<f32>> = Vec::new();
     for (context_row, value) in &data.augmented {
         let extra_override: Option<Vec<f32>> = data.criteria.as_ref().map(|set| {
-            augmented_criteria_features(table, set, *context_row, column, value)
+            augmented_criteria_features(
+                table,
+                set,
+                compiled_criteria.as_ref(),
+                *context_row,
+                column,
+                value,
+            )
         });
         let feat = fitted.unified_row(
             *context_row,
@@ -203,10 +216,13 @@ pub fn train_and_predict(
 
 /// Evaluates the column's criteria for a fabricated value placed in the
 /// context of an existing row, producing the extra (criteria) feature block
-/// for that synthetic cell.
+/// for that synthetic cell. When `compiled` is given the pre-lowered VM
+/// programs run instead of the AST walk (bit-identical by the differential
+/// contract).
 fn augmented_criteria_features(
     table: &Table,
     criteria: &zeroed_criteria::CriteriaSet,
+    compiled: Option<&CompiledSet>,
     context_row: usize,
     column: usize,
     value: &str,
@@ -223,8 +239,11 @@ fn augmented_criteria_features(
     }
     let scratch = Table::new("scratch", table.columns().to_vec(), vec![row])
         .expect("scratch row matches the schema");
-    criteria
-        .evaluate_cell(&scratch, 0)
+    let verdicts = match compiled {
+        Some(compiled) => compiled.eval_cell(&scratch, 0),
+        None => criteria.evaluate_cell(&scratch, 0),
+    };
+    verdicts
         .into_iter()
         .map(|b| if b { 1.0 } else { 0.0 })
         .collect()
@@ -326,9 +345,12 @@ mod tests {
     fn augmented_criteria_features_reflect_the_substituted_value() {
         let t = table();
         let set = training_data().criteria.unwrap();
-        let ok = augmented_criteria_features(&t, &set, 0, 1, "MA");
-        assert_eq!(ok, vec![1.0]);
-        let bad = augmented_criteria_features(&t, &set, 0, 1, "not-a-state");
-        assert_eq!(bad, vec![0.0]);
+        let compiled = zeroed_criteria::compile_set(&set);
+        for (value, expect) in [("MA", vec![1.0]), ("not-a-state", vec![0.0])] {
+            let vm = augmented_criteria_features(&t, &set, Some(&compiled), 0, 1, value);
+            let ast = augmented_criteria_features(&t, &set, None, 0, 1, value);
+            assert_eq!(vm, expect);
+            assert_eq!(vm, ast, "engines must agree on {value:?}");
+        }
     }
 }

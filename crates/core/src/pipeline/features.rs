@@ -4,8 +4,8 @@
 //! error-checking criteria per attribute, and turns those criteria into the
 //! binary feature block passed to `zeroed-features` as `extra` features.
 
-use crate::config::ZeroEdConfig;
-use zeroed_criteria::{criteria_features, CriteriaSet};
+use crate::config::{CriteriaEngine, ZeroEdConfig};
+use zeroed_criteria::{criteria_features, criteria_features_dict, CriteriaSet};
 use zeroed_features::nmi::top_k_correlated_dict;
 use zeroed_llm::{AttributeContext, LlmClient};
 use zeroed_table::{Table, TableDict};
@@ -90,7 +90,9 @@ pub fn generate_criteria_on(
 
 /// Evaluates every column's criteria over the full table, producing the
 /// per-column extra feature blocks for the feature builder. Columns without
-/// criteria get an empty block.
+/// criteria get an empty block. Runs on the compiled VM path (interning the
+/// touched columns internally); the pipeline uses [`criteria_extra_dict`]
+/// with its run-wide dictionary and engine switch.
 pub fn criteria_extra(criteria: &[Option<CriteriaSet>], table: &Table) -> Vec<Vec<Vec<f32>>> {
     criteria
         .iter()
@@ -101,15 +103,48 @@ pub fn criteria_extra(criteria: &[Option<CriteriaSet>], table: &Table) -> Vec<Ve
         .collect()
 }
 
-/// [`criteria_extra`] fanned out over the runtime scheduler (criteria
+fn column_extra(
+    set: &CriteriaSet,
+    table: &Table,
+    dict: &TableDict,
+    engine: CriteriaEngine,
+) -> Vec<Vec<f32>> {
+    match engine {
+        CriteriaEngine::Compiled => criteria_features_dict(set, dict),
+        CriteriaEngine::AstOracle => zeroed_criteria::verify::oracle::criteria_features(set, table),
+    }
+}
+
+/// [`criteria_extra`] over the pipeline's pre-built dictionary, honouring the
+/// configured evaluation engine: compiled-VM per-distinct evaluation by
+/// default, the per-cell AST oracle when pinned. `dict` must describe
+/// `table`.
+pub fn criteria_extra_dict(
+    criteria: &[Option<CriteriaSet>],
+    table: &Table,
+    dict: &TableDict,
+    engine: CriteriaEngine,
+) -> Vec<Vec<Vec<f32>>> {
+    criteria
+        .iter()
+        .map(|set| match set {
+            Some(set) if !set.is_empty() => column_extra(set, table, dict, engine),
+            _ => Vec::new(),
+        })
+        .collect()
+}
+
+/// [`criteria_extra_dict`] fanned out over the runtime scheduler (criteria
 /// evaluation is CPU-bound and embarrassingly parallel per column).
-pub fn criteria_extra_on(
+pub fn criteria_extra_dict_on(
     scheduler: &zeroed_runtime::Scheduler,
     criteria: &[Option<CriteriaSet>],
     table: &Table,
+    dict: &TableDict,
+    engine: CriteriaEngine,
 ) -> Vec<Vec<Vec<f32>>> {
     scheduler.run(criteria.len(), |j| match &criteria[j] {
-        Some(set) if !set.is_empty() => criteria_features(set, table),
+        Some(set) if !set.is_empty() => column_extra(set, table, dict, engine),
         _ => Vec::new(),
     })
 }

@@ -366,9 +366,15 @@ impl ZeroEd {
         let criteria = step
             .child("criteria_llm")
             .time(|| features::generate_criteria_on(&scheduler, dirty, &correlated, config, llm));
-        let extra = step
-            .child("criteria_features")
-            .time(|| features::criteria_extra_on(&scheduler, &criteria, dirty));
+        let extra = step.child("criteria_features").time(|| {
+            features::criteria_extra_dict_on(
+                &scheduler,
+                &criteria,
+                dirty,
+                &dict,
+                config.criteria_engine,
+            )
+        });
         let feature_config = FeatureConfig {
             embed_dim: config.embed_dim,
             top_k_corr: config.effective_top_k(),
@@ -377,7 +383,7 @@ impl ZeroEd {
         let builder = FeatureBuilder::new(feature_config);
         let fitted = step
             .child("fit")
-            .time(|| builder.fit_prepared(dirty, dict, correlated.clone(), &extra));
+            .time(|| builder.fit_prepared(dirty, Arc::clone(&dict), correlated.clone(), &extra));
         let feats = step.child("build_matrices").time(|| fitted.build_all());
         timings.features = t0.elapsed();
         step.record(timings.features);
@@ -435,6 +441,7 @@ impl ZeroEd {
         let t3 = Instant::now();
         let step = root.child("training_data");
         let per_col = step.child_dist("construct_attribute");
+        let verify_dist = step.child_dist("criteria_verify");
         let training: Vec<training_data::ColumnTrainingData> = scheduler.run(n_cols, |j| {
             per_col.time(|| {
                 let ctx = AttributeContext {
@@ -450,6 +457,8 @@ impl ZeroEd {
                     &samplings[j],
                     &label_outcomes[j].labels,
                     criteria[j].clone(),
+                    &dict,
+                    Some(&verify_dist),
                 )
             })
         });
@@ -565,7 +574,7 @@ impl ZeroEd {
             .time(|| features::generate_criteria(dirty, &correlated, config, llm));
         let extra = step
             .child("criteria_features")
-            .time(|| features::criteria_extra(&criteria, dirty));
+            .time(|| features::criteria_extra_dict(&criteria, dirty, &dict, config.criteria_engine));
         let feature_config = FeatureConfig {
             embed_dim: config.embed_dim,
             top_k_corr: config.effective_top_k(),
@@ -576,7 +585,7 @@ impl ZeroEd {
         // LLM prompt contexts describe) — the NMI sweep runs exactly once.
         let fitted = step
             .child("fit")
-            .time(|| builder.fit_prepared(dirty, dict, correlated.clone(), &extra));
+            .time(|| builder.fit_prepared(dirty, Arc::clone(&dict), correlated.clone(), &extra));
         let feats = step.child("build_matrices").time(|| fitted.build_all());
         timings.features = t0.elapsed();
         step.record(timings.features);
@@ -634,6 +643,7 @@ impl ZeroEd {
         let t3 = Instant::now();
         let step = root.child("training_data");
         let per_col = step.child_dist("construct_attribute");
+        let verify_dist = step.child_dist("criteria_verify");
         let mut training: Vec<training_data::ColumnTrainingData> = Vec::with_capacity(n_cols);
         for j in 0..n_cols {
             let ctx = AttributeContext {
@@ -650,6 +660,8 @@ impl ZeroEd {
                     &samplings[j],
                     &label_outcomes[j].labels,
                     criteria[j].clone(),
+                    &dict,
+                    Some(&verify_dist),
                 )
             });
             stats.propagated_cells += data.propagated_cells;

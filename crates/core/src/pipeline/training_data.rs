@@ -14,10 +14,13 @@
 //! what keeps the fan-out bit-identical to the sequential loop.
 
 use super::sampling::ColumnSampling;
-use crate::config::ZeroEdConfig;
+use crate::config::{CriteriaEngine, ZeroEdConfig};
 use std::collections::HashMap;
-use zeroed_criteria::{filter_criteria, filter_rows, CriteriaSet};
+use zeroed_criteria::verify::oracle;
+use zeroed_criteria::{filter_criteria_dict, filter_rows_dict, CriteriaSet};
 use zeroed_llm::{AttributeContext, LlmClient};
+use zeroed_obs::Span;
+use zeroed_table::TableDict;
 
 /// The per-attribute training data produced by Algorithm 1.
 #[derive(Debug, Clone, Default)]
@@ -36,6 +39,12 @@ pub struct ColumnTrainingData {
 }
 
 /// Runs Algorithm 1 for one attribute.
+///
+/// `dict` is the run-wide distinct-value dictionary of `ctx.table` (built
+/// once by the pipeline); the compiled criteria engine verifies per distinct
+/// code against it. `verify_span`, when given, accrues the wall time of the
+/// mutual-verification passes (the `criteria_verify` distribution in the
+/// stage profile).
 pub fn construct(
     ctx: &AttributeContext<'_>,
     config: &ZeroEdConfig,
@@ -43,6 +52,8 @@ pub fn construct(
     sampling: &ColumnSampling,
     llm_labels: &HashMap<usize, bool>,
     criteria: Option<CriteriaSet>,
+    dict: &TableDict,
+    verify_span: Option<&Span>,
 ) -> ColumnTrainingData {
     let table = ctx.table;
     let col = ctx.column;
@@ -104,18 +115,29 @@ pub fn construct(
     // ---- Lines 8–20: mutual verification. ---------------------------------
     if config.use_verification {
         if let Some(set) = refined.take() {
+            let t_verify = std::time::Instant::now();
             // Verify criteria on a bounded sample of clean-labelled rows.
             let check_rows: Vec<usize> = clean_rows.iter().copied().take(500).collect();
-            let verified_criteria =
-                filter_criteria(&set, table, &check_rows, config.verification_threshold);
-            // Verify propagated clean labels with the surviving criteria.
-            clean_rows = filter_rows(
-                &verified_criteria,
-                table,
-                &clean_rows,
-                config.verification_threshold,
-            );
+            let threshold = config.verification_threshold;
+            let (verified_criteria, kept_rows) = match config.criteria_engine {
+                CriteriaEngine::Compiled => {
+                    let verified = filter_criteria_dict(&set, dict, &check_rows, threshold);
+                    // Verify propagated clean labels with the surviving
+                    // criteria.
+                    let kept = filter_rows_dict(&verified, dict, &clean_rows, threshold);
+                    (verified, kept)
+                }
+                CriteriaEngine::AstOracle => {
+                    let verified = oracle::filter_criteria(&set, table, &check_rows, threshold);
+                    let kept = oracle::filter_rows(&verified, table, &clean_rows, threshold);
+                    (verified, kept)
+                }
+            };
+            clean_rows = kept_rows;
             refined = Some(verified_criteria);
+            if let Some(span) = verify_span {
+                span.record(t_verify.elapsed());
+            }
         }
     }
 
@@ -243,6 +265,8 @@ mod tests {
             &f.sampling,
             &f.labels,
             f.criteria[f.column].clone(),
+            &f.ds.dirty.intern(),
+            None,
         );
         let labeled = data.clean_rows.len() + data.error_rows.len();
         assert!(
@@ -262,6 +286,7 @@ mod tests {
             correlated: &f.correlated[f.column],
             sample_rows: &f.sampling.representatives,
         };
+        let dict = f.ds.dirty.intern();
         let with = construct(
             &ctx,
             &ZeroEdConfig::fast(),
@@ -269,6 +294,8 @@ mod tests {
             &f.sampling,
             &f.labels,
             f.criteria[f.column].clone(),
+            &dict,
+            None,
         );
         assert!(
             !with.augmented.is_empty(),
@@ -286,8 +313,46 @@ mod tests {
             &f.sampling,
             &f.labels,
             f.criteria[f.column].clone(),
+            &dict,
+            None,
         );
         assert!(without.augmented.is_empty());
+    }
+
+    #[test]
+    fn compiled_and_oracle_engines_construct_identical_training_data() {
+        let f = fixture();
+        let ctx = AttributeContext {
+            table: &f.ds.dirty,
+            column: f.column,
+            correlated: &f.correlated[f.column],
+            sample_rows: &f.sampling.representatives,
+        };
+        let dict = f.ds.dirty.intern();
+        let compiled = construct(
+            &ctx,
+            &ZeroEdConfig::fast(),
+            &f.llm,
+            &f.sampling,
+            &f.labels,
+            f.criteria[f.column].clone(),
+            &dict,
+            None,
+        );
+        let oracle = construct(
+            &ctx,
+            &ZeroEdConfig::fast().with_criteria_oracle(),
+            &f.llm,
+            &f.sampling,
+            &f.labels,
+            f.criteria[f.column].clone(),
+            &dict,
+            None,
+        );
+        assert_eq!(compiled.clean_rows, oracle.clean_rows);
+        assert_eq!(compiled.error_rows, oracle.error_rows);
+        assert_eq!(compiled.criteria, oracle.criteria);
+        assert_eq!(compiled.augmented, oracle.augmented);
     }
 
     #[test]
@@ -305,6 +370,8 @@ mod tests {
             &f.llm,
             &f.sampling,
             &f.labels,
+            None,
+            &f.ds.dirty.intern(),
             None,
         );
         assert!(data.criteria.is_none());

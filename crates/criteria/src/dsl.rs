@@ -134,10 +134,17 @@ impl Check {
     }
 }
 
-/// L3 pattern generalisation (duplicated from `zeroed-features` to keep this
-/// crate free of that dependency direction: features depends on the *output*
-/// of criteria, not the other way round).
-fn l3_pattern(value: &str) -> String {
+/// L3 pattern generalisation: uppercase/lowercase/digit/symbol run-length
+/// encoding, e.g. `"DOe123."` → `"U[2]u[1]D[3]S[1]"`.
+///
+/// This intentionally duplicates `zeroed-features::pattern::generalize` at
+/// L3 to keep this crate free of that dependency direction (features depends
+/// on the *output* of criteria, not the other way round). The two copies are
+/// held equivalent by the shared-corpus de-drift test in
+/// `tests/pattern_drift.rs` — change both or neither. It is `pub` because
+/// the bytecode VM ([`crate::vm`]) and that test both need the exact
+/// generaliser [`Check::PatternTemplate`] is specified against.
+pub fn l3_pattern(value: &str) -> String {
     let mut out = String::new();
     let mut prev: Option<char> = None;
     let mut run = 0usize;

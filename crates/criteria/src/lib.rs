@@ -43,9 +43,33 @@
 //! Checks are pure and total: evaluation never panics on malformed cell
 //! values (a value that fails to parse simply fails the check), which the
 //! pipeline relies on when running criteria over dirty data by design.
+//!
+//! ## The criteria VM
+//!
+//! Evaluation itself has two interchangeable engines:
+//!
+//! * the **AST oracle** — [`Check::evaluate`] walks the check tree per cell;
+//!   byte-for-byte the original implementation, preserved as the
+//!   specification (and selectable in the pipeline via
+//!   `ZeroEdConfig::criteria_engine`);
+//! * the **compiled path** (default) — [`compile`] lowers each check into a
+//!   flat, versioned bytecode [`Program`] and [`vm`]
+//!   evaluates it once per *distinct* interned value (or distinct value
+//!   pair for cross-column checks), scattering results to rows by
+//!   `TableDict` code.
+//!
+//! The differential suite (`tests/vm_differential.rs`) holds the two
+//! bit-identical on randomly generated check trees and tables; the byte
+//! format is pinned by `tests/bytecode_golden.rs`.
 
+pub mod compile;
 pub mod dsl;
 pub mod verify;
+pub mod vm;
 
-pub use dsl::{Check, CriteriaSet, Criterion};
-pub use verify::{criteria_features, criterion_accuracy, filter_criteria, filter_rows, pass_rate};
+pub use compile::{compile_check, compile_set, CompiledSet, Program, BYTECODE_VERSION};
+pub use dsl::{l3_pattern, Check, CriteriaSet, Criterion};
+pub use verify::{
+    criteria_features, criteria_features_dict, criterion_accuracy, filter_criteria,
+    filter_criteria_dict, filter_rows, filter_rows_dict, pass_rate,
+};

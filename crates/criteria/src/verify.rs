@@ -9,44 +9,208 @@
 //! 2. **verify data with reliable criteria** — propagated "clean" cells that
 //!    fail more than half of the surviving criteria are discarded
 //!    ([`filter_rows`]).
+//!
+//! ## Compiled by default, oracle behind the same names
+//!
+//! Since the criteria VM landed, every entry point here runs on the
+//! **compiled** path: checks are lowered once ([`crate::compile`]) and
+//! evaluated per distinct value / distinct value pair ([`crate::vm`]) instead
+//! of walking the [`Check`](crate::dsl::Check) AST per cell. The original
+//! per-cell implementations are preserved verbatim in [`oracle`] — they are
+//! the specification, the differential suite (`tests/vm_differential.rs`)
+//! holds the two bit-identical, and the pipeline can be pinned to them via
+//! `ZeroEdConfig::criteria_engine` in `zeroed-core`.
+//!
+//! The float conventions are part of the contract and identical on both
+//! paths: empty row sets score `1.0` in [`criterion_accuracy`], empty
+//! criteria sets score `1.0` in [`pass_rate`], and every rate is computed as
+//! `count as f64 / len as f64`.
+//!
+//! The `*_dict` variants ([`criteria_features_dict`],
+//! [`filter_criteria_dict`], [`filter_rows_dict`]) accept the caller's
+//! already-built [`TableDict`] so the pipeline (which interns the table once
+//! per run) pays no extra interning; the plain variants intern the columns
+//! they touch internally.
 
+use crate::compile::{compile_check, compile_set, Program};
 use crate::dsl::{CriteriaSet, Criterion};
-use zeroed_table::Table;
+use crate::vm::DistinctEval;
+use std::collections::HashMap;
+use zeroed_table::intern::ColumnDict;
+use zeroed_table::{Table, TableDict};
+
+/// The original per-cell AST-walking implementations, kept byte-for-byte as
+/// the specification oracle for the compiled path (the same discipline as
+/// `zeroed_features::reference` and the scalar MLP oracle): slow, obviously
+/// correct, and exercised against the VM by the differential suite.
+pub mod oracle {
+    use crate::dsl::{CriteriaSet, Criterion};
+    use zeroed_table::Table;
+
+    /// Fraction of the given rows (all assumed labelled clean) that satisfy
+    /// the criterion. Returns 1.0 for an empty row set (no evidence against
+    /// it).
+    pub fn criterion_accuracy(
+        criterion: &Criterion,
+        table: &Table,
+        col: usize,
+        clean_rows: &[usize],
+    ) -> f64 {
+        if clean_rows.is_empty() {
+            return 1.0;
+        }
+        let satisfied = clean_rows
+            .iter()
+            .filter(|&&row| criterion.evaluate(table, row, col))
+            .count();
+        satisfied as f64 / clean_rows.len() as f64
+    }
+
+    /// Fraction of criteria in the set that the cell satisfies. Returns 1.0
+    /// for an empty criteria set.
+    pub fn pass_rate(set: &CriteriaSet, table: &Table, row: usize) -> f64 {
+        if set.is_empty() {
+            return 1.0;
+        }
+        let passed = set
+            .criteria
+            .iter()
+            .filter(|c| c.evaluate(table, row, set.column))
+            .count();
+        passed as f64 / set.criteria.len() as f64
+    }
+
+    /// Drops criteria whose accuracy on clean-labelled rows is below
+    /// `threshold` (Algorithm 1 lines 8–14; the paper uses 0.5). Returns the
+    /// retained set.
+    pub fn filter_criteria(
+        set: &CriteriaSet,
+        table: &Table,
+        clean_rows: &[usize],
+        threshold: f64,
+    ) -> CriteriaSet {
+        let criteria = set
+            .criteria
+            .iter()
+            .filter(|c| criterion_accuracy(c, table, set.column, clean_rows) >= threshold)
+            .cloned()
+            .collect();
+        CriteriaSet {
+            column: set.column,
+            criteria,
+        }
+    }
+
+    /// Keeps only the clean-labelled rows whose pass rate over the (verified)
+    /// criteria reaches `threshold` (Algorithm 1 lines 15–20; the paper uses
+    /// 0.5).
+    pub fn filter_rows(
+        set: &CriteriaSet,
+        table: &Table,
+        clean_rows: &[usize],
+        threshold: f64,
+    ) -> Vec<usize> {
+        clean_rows
+            .iter()
+            .copied()
+            .filter(|&row| pass_rate(set, table, row) >= threshold)
+            .collect()
+    }
+
+    /// Evaluates a column's criteria over every row, producing the binary
+    /// error-reason-aware feature block (`f_cri`) consumed by
+    /// `zeroed-features::FeatureBuilder` as `extra` features. Satisfied
+    /// criteria map to `1.0`, violated ones to `0.0`.
+    pub fn criteria_features(set: &CriteriaSet, table: &Table) -> Vec<Vec<f32>> {
+        if set.is_empty() {
+            return Vec::new();
+        }
+        (0..table.n_rows())
+            .map(|row| {
+                set.evaluate_cell(table, row)
+                    .into_iter()
+                    .map(|b| if b { 1.0 } else { 0.0 })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Value-keyed memo for evaluating one program over a row *subset* (the
+/// verification passes touch ≤500 clean rows of a possibly 50k-row table, so
+/// interning whole columns would cost more than it saves — memoising on the
+/// borrowed cell strings gives the same run-once-per-distinct behaviour).
+struct SubsetMemo<'t> {
+    single: HashMap<&'t str, bool>,
+    pair: HashMap<(&'t str, &'t str), bool>,
+}
+
+impl<'t> SubsetMemo<'t> {
+    fn new() -> Self {
+        Self {
+            single: HashMap::new(),
+            pair: HashMap::new(),
+        }
+    }
+
+    #[inline]
+    fn eval_row(&mut self, program: &Program, table: &'t Table, row: usize) -> bool {
+        let this = table.cell(row, program.col as usize);
+        match program.other_col {
+            None => *self
+                .single
+                .entry(this)
+                .or_insert_with(|| program.eval(this, "")),
+            Some(oc) => {
+                let other = table.cell(row, oc as usize);
+                *self
+                    .pair
+                    .entry((this, other))
+                    .or_insert_with(|| program.eval(this, other))
+            }
+        }
+    }
+}
+
+fn subset_accuracy(program: &Program, table: &Table, clean_rows: &[usize]) -> f64 {
+    if clean_rows.is_empty() {
+        return 1.0;
+    }
+    let mut memo = SubsetMemo::new();
+    let satisfied = clean_rows
+        .iter()
+        .filter(|&&row| memo.eval_row(program, table, row))
+        .count();
+    satisfied as f64 / clean_rows.len() as f64
+}
 
 /// Fraction of the given rows (all assumed labelled clean) that satisfy the
-/// criterion. Returns 1.0 for an empty row set (no evidence against it).
+/// criterion, evaluated on the compiled path. Returns 1.0 for an empty row
+/// set (no evidence against it). Oracle: [`oracle::criterion_accuracy`].
 pub fn criterion_accuracy(
     criterion: &Criterion,
     table: &Table,
     col: usize,
     clean_rows: &[usize],
 ) -> f64 {
-    if clean_rows.is_empty() {
-        return 1.0;
-    }
-    let satisfied = clean_rows
-        .iter()
-        .filter(|&&row| criterion.evaluate(table, row, col))
-        .count();
-    satisfied as f64 / clean_rows.len() as f64
+    subset_accuracy(&compile_check(&criterion.check, col), table, clean_rows)
 }
 
-/// Fraction of criteria in the set that the cell satisfies. Returns 1.0 for an
-/// empty criteria set.
+/// Fraction of criteria in the set that the cell satisfies, evaluated on the
+/// compiled path. Returns 1.0 for an empty criteria set. Oracle:
+/// [`oracle::pass_rate`].
 pub fn pass_rate(set: &CriteriaSet, table: &Table, row: usize) -> f64 {
     if set.is_empty() {
         return 1.0;
     }
-    let passed = set
-        .criteria
-        .iter()
-        .filter(|c| c.evaluate(table, row, set.column))
-        .count();
-    passed as f64 / set.criteria.len() as f64
+    let compiled = compile_set(set);
+    let passed = compiled.eval_cell(table, row).iter().filter(|&&b| b).count();
+    passed as f64 / compiled.len() as f64
 }
 
 /// Drops criteria whose accuracy on clean-labelled rows is below `threshold`
-/// (Algorithm 1 lines 8–14; the paper uses 0.5). Returns the retained set.
+/// (Algorithm 1 lines 8–14; the paper uses 0.5), evaluated on the compiled
+/// path. Returns the retained set. Oracle: [`oracle::filter_criteria`].
 pub fn filter_criteria(
     set: &CriteriaSet,
     table: &Table,
@@ -56,7 +220,9 @@ pub fn filter_criteria(
     let criteria = set
         .criteria
         .iter()
-        .filter(|c| criterion_accuracy(c, table, set.column, clean_rows) >= threshold)
+        .filter(|c| {
+            subset_accuracy(&compile_check(&c.check, set.column), table, clean_rows) >= threshold
+        })
         .cloned()
         .collect();
     CriteriaSet {
@@ -66,34 +232,164 @@ pub fn filter_criteria(
 }
 
 /// Keeps only the clean-labelled rows whose pass rate over the (verified)
-/// criteria reaches `threshold` (Algorithm 1 lines 15–20; the paper uses 0.5).
+/// criteria reaches `threshold` (Algorithm 1 lines 15–20; the paper uses
+/// 0.5), evaluated on the compiled path. Oracle: [`oracle::filter_rows`].
 pub fn filter_rows(
     set: &CriteriaSet,
     table: &Table,
     clean_rows: &[usize],
     threshold: f64,
 ) -> Vec<usize> {
+    let compiled = compile_set(set);
+    let mut memos: Vec<SubsetMemo<'_>> = compiled.programs.iter().map(|_| SubsetMemo::new()).collect();
     clean_rows
         .iter()
         .copied()
-        .filter(|&row| pass_rate(set, table, row) >= threshold)
+        .filter(|&row| {
+            let rate = if compiled.is_empty() {
+                1.0
+            } else {
+                let mut passed = 0usize;
+                for (p, m) in compiled.programs.iter().zip(memos.iter_mut()) {
+                    if m.eval_row(p, table, row) {
+                        passed += 1;
+                    }
+                }
+                passed as f64 / compiled.len() as f64
+            };
+            rate >= threshold
+        })
         .collect()
 }
 
-/// Evaluates a column's criteria over every row, producing the binary
-/// error-reason-aware feature block (`f_cri`) consumed by
-/// `zeroed-features::FeatureBuilder` as `extra` features. Satisfied criteria
-/// map to `1.0`, violated ones to `0.0`.
+fn matrix_to_f32(per_criterion: Vec<Vec<bool>>, n_rows: usize) -> Vec<Vec<f32>> {
+    (0..n_rows)
+        .map(|row| {
+            per_criterion
+                .iter()
+                .map(|col| if col[row] { 1.0 } else { 0.0 })
+                .collect()
+        })
+        .collect()
+}
+
+/// Evaluates a column's criteria over every row on the compiled columnar
+/// path, producing the binary error-reason-aware feature block (`f_cri`)
+/// consumed by `zeroed-features::FeatureBuilder` as `extra` features.
+/// Satisfied criteria map to `1.0`, violated ones to `0.0`. Interns the
+/// columns the programs read internally — the pipeline uses
+/// [`criteria_features_dict`] with its run-wide dictionary instead. Oracle:
+/// [`oracle::criteria_features`].
 pub fn criteria_features(set: &CriteriaSet, table: &Table) -> Vec<Vec<f32>> {
     if set.is_empty() {
         return Vec::new();
     }
-    (0..table.n_rows())
-        .map(|row| {
-            set.evaluate_cell(table, row)
-                .into_iter()
-                .map(|b| if b { 1.0 } else { 0.0 })
-                .collect()
+    let compiled = compile_set(set);
+    let mut dicts: HashMap<usize, ColumnDict> = HashMap::new();
+    dicts.insert(set.column, ColumnDict::for_column(table, set.column));
+    for p in &compiled.programs {
+        if let Some(oc) = p.other_col {
+            dicts
+                .entry(oc as usize)
+                .or_insert_with(|| ColumnDict::for_column(table, oc as usize));
+        }
+    }
+    let per_criterion: Vec<Vec<bool>> = compiled
+        .evaluators(|col| &dicts[&col])
+        .into_iter()
+        .map(|mut ev| ev.eval_all_rows())
+        .collect();
+    matrix_to_f32(per_criterion, table.n_rows())
+}
+
+/// [`criteria_features`] over a pre-built table dictionary: zero interning
+/// cost, per-distinct evaluation straight off the caller's `dict` (which
+/// must describe the same table the criteria were generated for).
+pub fn criteria_features_dict(set: &CriteriaSet, dict: &TableDict) -> Vec<Vec<f32>> {
+    if set.is_empty() {
+        return Vec::new();
+    }
+    let compiled = compile_set(set);
+    let per_criterion: Vec<Vec<bool>> = compiled
+        .evaluators(|col| dict.column(col))
+        .into_iter()
+        .map(|mut ev| ev.eval_all_rows())
+        .collect();
+    matrix_to_f32(per_criterion, dict.n_rows())
+}
+
+/// [`filter_criteria`] over a pre-built table dictionary (`dict` must
+/// describe the same table): per-distinct memoisation keyed by interned
+/// codes instead of cell strings.
+pub fn filter_criteria_dict(
+    set: &CriteriaSet,
+    dict: &TableDict,
+    clean_rows: &[usize],
+    threshold: f64,
+) -> CriteriaSet {
+    let compiled = compile_set(set);
+    let criteria = set
+        .criteria
+        .iter()
+        .zip(compiled.programs.iter())
+        .filter(|(_, program)| {
+            let acc = if clean_rows.is_empty() {
+                1.0
+            } else {
+                let mut ev = DistinctEval::new(
+                    program,
+                    dict.column(set.column),
+                    program.other_col.map(|c| dict.column(c as usize)),
+                );
+                let satisfied = clean_rows.iter().filter(|&&row| ev.eval_row(row)).count();
+                satisfied as f64 / clean_rows.len() as f64
+            };
+            acc >= threshold
+        })
+        .map(|(c, _)| c.clone())
+        .collect();
+    CriteriaSet {
+        column: set.column,
+        criteria,
+    }
+}
+
+/// [`filter_rows`] over a pre-built table dictionary (`dict` must describe
+/// the same table): per-distinct memoisation keyed by interned codes.
+pub fn filter_rows_dict(
+    set: &CriteriaSet,
+    dict: &TableDict,
+    clean_rows: &[usize],
+    threshold: f64,
+) -> Vec<usize> {
+    let compiled = compile_set(set);
+    let mut evals: Vec<DistinctEval<'_>> = compiled
+        .programs
+        .iter()
+        .map(|p| {
+            DistinctEval::new(
+                p,
+                dict.column(set.column),
+                p.other_col.map(|c| dict.column(c as usize)),
+            )
+        })
+        .collect();
+    clean_rows
+        .iter()
+        .copied()
+        .filter(|&row| {
+            let rate = if evals.is_empty() {
+                1.0
+            } else {
+                let mut passed = 0usize;
+                for ev in evals.iter_mut() {
+                    if ev.eval_row(row) {
+                        passed += 1;
+                    }
+                }
+                passed as f64 / evals.len() as f64
+            };
+            rate >= threshold
         })
         .collect()
 }
@@ -195,5 +491,46 @@ mod tests {
         assert_eq!(feats[0], vec![1.0, 1.0, 1.0]);
         assert_eq!(feats[3], vec![0.0, 0.0, 0.0]);
         assert!(criteria_features(&CriteriaSet::new(0), &t).is_empty());
+    }
+
+    #[test]
+    fn compiled_entry_points_match_the_oracle() {
+        let t = table();
+        let s = set();
+        assert_eq!(criteria_features(&s, &t), oracle::criteria_features(&s, &t));
+        for row in 0..t.n_rows() {
+            assert_eq!(pass_rate(&s, &t, row).to_bits(), oracle::pass_rate(&s, &t, row).to_bits());
+        }
+        let rows = [0usize, 2, 3, 4];
+        assert_eq!(
+            filter_criteria(&s, &t, &rows, 0.5),
+            oracle::filter_criteria(&s, &t, &rows, 0.5)
+        );
+        assert_eq!(
+            filter_rows(&s, &t, &rows, 0.5),
+            oracle::filter_rows(&s, &t, &rows, 0.5)
+        );
+    }
+
+    #[test]
+    fn dict_variants_match_the_plain_ones() {
+        let t = table();
+        let s = set();
+        let dict = t.intern();
+        assert_eq!(criteria_features_dict(&s, &dict), criteria_features(&s, &t));
+        let rows = [0usize, 1, 2, 3, 4];
+        assert_eq!(
+            filter_criteria_dict(&s, &dict, &rows, 0.5),
+            filter_criteria(&s, &t, &rows, 0.5)
+        );
+        assert_eq!(
+            filter_rows_dict(&s, &dict, &rows, 0.5),
+            filter_rows(&s, &t, &rows, 0.5)
+        );
+        // Empty clean-row sets keep every criterion on both paths.
+        assert_eq!(filter_criteria_dict(&s, &dict, &[], 0.5).len(), s.len());
+        // Empty criteria sets keep every row (pass rate convention 1.0).
+        let empty = CriteriaSet::new(0);
+        assert_eq!(filter_rows_dict(&empty, &dict, &rows, 0.5), rows.to_vec());
     }
 }

@@ -1,0 +1,83 @@
+//! De-drift guard for the two L3 pattern generalisers.
+//!
+//! `zeroed_criteria::l3_pattern` intentionally duplicates
+//! `zeroed_features::pattern::generalize(.., Level::L3)` so the criteria
+//! crate does not depend on the features crate (which would invert the
+//! dependency direction of the pipeline). Duplication is only safe while
+//! the copies agree; this shared corpus fails the build the moment either
+//! side drifts.
+
+use zeroed_criteria::l3_pattern;
+use zeroed_features::pattern::{generalize, Level};
+
+/// Corpus spanning every character class and transition the generalisers
+/// handle: case runs, digit runs, symbols, whitespace, unicode uppercase /
+/// lowercase / non-cased scripts, and the empty string.
+const CORPUS: &[&str] = &[
+    "",
+    " ",
+    "   ",
+    "DOe123.",
+    "12345",
+    "abcde",
+    "ABCDE",
+    "aB",
+    "Ba",
+    "a1b2c3",
+    "A1B2C3",
+    "hello world",
+    "Hello, World!",
+    "scip-card-2",
+    "90210",
+    "$1,200.50",
+    "12%",
+    "€7",
+    "-3.5",
+    "n/a",
+    "N/A",
+    "null",
+    "NULL",
+    "ZÜRICH",
+    "zürich",
+    "Ärzte 12",
+    "東京",
+    "naïve",
+    "ß",
+    "ẞ",
+    "Ǆ",
+    "ǅ",
+    "ǆ",
+    "\t",
+    "a\tb",
+    "  leading",
+    "trailing  ",
+    "__dunder__",
+    "CamelCaseValue",
+    "snake_case_value",
+    "MiXeD123CaSe456",
+    "....",
+    "a.b.c.d",
+    "0x1F",
+    "1e10",
+    "+44 20 7946 0958",
+    "(617) 555-0123",
+];
+
+#[test]
+fn criteria_l3_pattern_matches_features_generalize_l3() {
+    for value in CORPUS {
+        assert_eq!(
+            l3_pattern(value),
+            generalize(value, Level::L3),
+            "L3 generalisers drifted apart on {value:?} — update dsl.rs::l3_pattern \
+             or features::pattern::generalize so they agree again",
+        );
+    }
+}
+
+#[test]
+fn corpus_exercises_the_documented_exemplar() {
+    // The doc example both crates cite: mixed case, digits, and a symbol.
+    assert_eq!(l3_pattern("DOe123."), "U[2]u[1]D[3]S[1]");
+    assert_eq!(generalize("DOe123.", Level::L3), "U[2]u[1]D[3]S[1]");
+}
